@@ -1,0 +1,16 @@
+"""E10 — capability-parameterization ablation (DESIGN.md §5.3).
+
+Regenerates the aggregation-mechanism table: the same strategy over MX
+profiles with hardware gather, by-copy staging only, and no aggregation
+at all — plus the host-CPU accounting that separates zero-copy gather
+from memcpy staging (paper §1: aggregation "at the cost of additional
+processing").
+"""
+
+from repro.bench.experiments import e10_copy_vs_gather
+
+
+def test_e10_copy_vs_gather(experiment):
+    result = experiment(e10_copy_vs_gather)
+    rows = {row["capabilities"]: row for row in result.rows}
+    assert rows["gather+copy (stock MX)"]["host_ms"] < rows["copy only (no gather)"]["host_ms"]

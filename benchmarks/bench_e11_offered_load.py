@@ -1,0 +1,15 @@
+"""E11 — offered-load saturation sweep.
+
+Regenerates the delivered-throughput/latency-vs-offered-load curves for
+both engines: they track together while unloaded; legacy hits its
+per-packet ceiling first, and cross-flow aggregation moves the
+optimizer's ceiling — the practical payoff behind the paper's §4 claim.
+"""
+
+from repro.bench.experiments import e11_offered_load
+
+
+def test_e11_offered_load(experiment):
+    result = experiment(e11_offered_load)
+    last = result.rows[-1]
+    assert last["opt_MBps"] > last["legacy_MBps"]

@@ -1,0 +1,14 @@
+"""E1 — Figure 1: the three-layer architecture, validated executably.
+
+Regenerates the architecture figure as a table of per-NIC activity over
+a heterogeneous fabric (2×Myrinet + 1×Quadrics) with mixed RDV / PIO /
+put-get traffic, and asserts the collect → optimize → transfer layer
+interaction sequence the figure depicts.
+"""
+
+from repro.bench import e1_architecture
+
+
+def test_e1_architecture(experiment):
+    result = experiment(e1_architecture)
+    assert result.rows, "per-NIC table must not be empty"

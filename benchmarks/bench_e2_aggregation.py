@@ -1,0 +1,16 @@
+"""E2 — the headline claim (paper §4): aggregation of eager segments
+collected from several independent communication flows brings huge
+performance gains.
+
+Regenerates the gain-vs-flow-count table: optimizing vs legacy engine on
+N ∈ {1..32} independent small-message flows.
+"""
+
+from repro.bench import e2_aggregation
+
+
+def test_e2_aggregation(experiment):
+    result = experiment(e2_aggregation)
+    gains = result.column("gain")
+    # Paper shape: big multi-flow gains.
+    assert max(gains) > 2.0

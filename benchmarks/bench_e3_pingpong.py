@@ -1,0 +1,15 @@
+"""E3 — ping-pong latency/bandwidth sweep (paper §1 techniques).
+
+Regenerates the classic latency/bandwidth curve on MX with the PIO/DMA
+and eager/rendezvous crossovers, and checks the optimizer never
+regresses on single-flow traffic.
+"""
+
+from repro.bench import e3_pingpong
+
+
+def test_e3_pingpong(experiment):
+    result = experiment(e3_pingpong)
+    bandwidths = result.column("opt_BW_MBps")
+    # Bandwidth must approach the MX link rate for large messages.
+    assert bandwidths[-1] > 200

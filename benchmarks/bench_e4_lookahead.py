@@ -1,0 +1,14 @@
+"""E4 — future work (paper §4): packet lookahead window sizes.
+
+Regenerates the latency/throughput-vs-window series under a bursty
+8-flow load; window=1 is the send-in-arrival-order ablation of the
+NIC-idle-triggered design.
+"""
+
+from repro.bench import e4_lookahead
+
+
+def test_e4_lookahead(experiment):
+    result = experiment(e4_lookahead)
+    tput = result.column("MBps")
+    assert tput[-1] > tput[0], "wider windows must help under bursty load"

@@ -1,0 +1,15 @@
+"""E5 — future work (paper §4): bounding the number of data
+rearrangements the optimizer evaluates.
+
+Regenerates the gain-vs-budget series: communication metrics saturate
+after a handful of candidate evaluations while optimizer wall time keeps
+growing, so the bound is free.
+"""
+
+from repro.bench import e5_search_budget
+
+
+def test_e5_search_budget(experiment):
+    result = experiment(e5_search_budget)
+    tputs = result.column("MBps")
+    assert min(tputs) > 0.9 * max(tputs), "budget must not change results much"

@@ -1,0 +1,15 @@
+"""E6 — paper §2: dynamic load balancing on multiple NICs, including
+NICs from multiple technologies.
+
+Regenerates the aggregate-bandwidth table across rail configurations:
+pooled scheduling vs static channel→NIC binding, homogeneous (N×MX) and
+heterogeneous (MX+Elan) rails.
+"""
+
+from repro.bench import e6_multirail
+
+
+def test_e6_multirail(experiment):
+    result = experiment(e6_multirail)
+    rows = {row["config"]: row for row in result.rows}
+    assert rows["4 x mx pooled"]["speedup"] > 3.0

@@ -1,0 +1,17 @@
+"""E7 — paper §2: assigning different channels to large synchronous
+sends, put/get transfers, and control/signalling messages, vs the
+one-to-one mapping fallback.
+
+Regenerates the control-latency-under-bulk-interference table per
+channel policy, with the no-interference floor.
+"""
+
+from repro.bench import e7_traffic_classes
+
+
+def test_e7_traffic_classes(experiment):
+    result = experiment(e7_traffic_classes)
+    rows = {row["policy"]: row for row in result.rows}
+    shielded = rows["classes (pooled)"]["ctl_p99_us"]
+    exposed = rows["single channel"]["ctl_p99_us"]
+    assert shielded < exposed / 5, "class separation must shield control traffic"

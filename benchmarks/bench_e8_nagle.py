@@ -1,0 +1,14 @@
+"""E8 — paper §3: artificially delaying packets for a short time to
+increase the potential of interesting aggregations, in a TCP Nagle's
+algorithm fashion.
+
+Regenerates the aggregation-ratio / latency-vs-delay series under a
+sparse arrival regime.
+"""
+
+from repro.bench import e8_nagle
+
+
+def test_e8_nagle(experiment):
+    result = experiment(e8_nagle)
+    assert result.rows[-1]["agg_ratio"] > result.rows[0]["agg_ratio"]

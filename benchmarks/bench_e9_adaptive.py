@@ -1,0 +1,17 @@
+"""E9 — paper §2: "the scheduler may also choose to dynamically change
+the assignment of networking resources to traffic classes … as the
+needs of the application evolve during the execution."
+
+Regenerates the adaptive-reassignment table: bulk traffic joins an
+initially control-only run; the adaptive policy promotes it to its own
+channel at run time (migrating pending entries), recovering most of the
+static class-separation benefit with half the multiplexing units.
+"""
+
+from repro.bench.experiments import e9_adaptive
+
+
+def test_e9_adaptive(experiment):
+    result = experiment(e9_adaptive)
+    rows = {row["policy"]: row for row in result.rows}
+    assert rows["adaptive"]["adaptations"] >= 1

@@ -1,0 +1,61 @@
+"""Microbenchmarks of the substrate itself.
+
+Not a paper table — these measure the simulator kernel and the engine
+hot path so performance regressions in the substrate are visible
+(guides: "no optimization without measuring").
+"""
+
+from repro.runtime import Cluster
+from repro.sim import Simulator
+
+
+def test_event_loop_rate(benchmark):
+    """Raw event dispatch rate of the simulation kernel."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+def test_engine_message_rate(benchmark):
+    """End-to-end messages per wall-second through the optimizing engine."""
+
+    def run():
+        cluster = Cluster(seed=0)
+        api = cluster.api("n0")
+        flows = [api.open_flow("n1") for _ in range(8)]
+        for flow in flows:
+            for _ in range(50):
+                api.send(flow, 256)
+        cluster.run_until_idle()
+        return cluster.report().messages
+
+    assert benchmark(run) == 400
+
+
+def test_legacy_message_rate(benchmark):
+    """Baseline engine hot path for comparison."""
+
+    def run():
+        cluster = Cluster(engine="legacy", seed=0)
+        api = cluster.api("n0")
+        flows = [api.open_flow("n1") for _ in range(8)]
+        for flow in flows:
+            for _ in range(50):
+                api.send(flow, 256)
+        cluster.run_until_idle()
+        return cluster.report().messages
+
+    assert benchmark(run) == 400

@@ -1,0 +1,26 @@
+"""Macro benchmark: the full mixed-middleware scenario end to end.
+
+Not a paper table — a whole-system regression target exercising every
+subsystem at once (heterogeneous rails, adaptive channels, the auto
+meta-strategy, all middleware kinds, collectives, rendezvous striping).
+"""
+
+from pathlib import Path
+
+from repro.runtime.scenario import load_scenario_file, run_scenario
+
+SCENARIO = Path(__file__).resolve().parent.parent / "examples" / "scenario_mixed.json"
+
+
+def test_macro_scenario(benchmark):
+    scenario = load_scenario_file(SCENARIO)
+
+    def run():
+        report, cluster, apps = run_scenario(scenario)
+        assert all(app.done.done for app in apps)
+        return report
+
+    report = benchmark(run)
+    assert report.messages > 500
+    assert report.rdv_count > 0
+    assert report.aggregation_ratio > 1.5

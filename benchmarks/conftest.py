@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark targets.
+
+Each ``bench_eN_*.py`` regenerates one table/figure from DESIGN.md §4.
+The experiment functions are deterministic simulations, so they run
+once per benchmark (``pedantic``); the rendered tables are printed and
+persisted to ``benchmarks/results/<id>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import render_result_figure
+from repro.bench.harness import ExperimentResult, persist_result
+
+
+def run_experiment(benchmark, experiment_fn, quick: bool = False) -> ExperimentResult:
+    """Benchmark one experiment (single round) and persist its table."""
+    result = benchmark.pedantic(
+        experiment_fn, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    path = persist_result(result)
+    print()
+    print(result.render())
+    chart = render_result_figure(result)
+    if chart is not None:
+        print(chart)
+    print(f"  (table saved to {path})")
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture form of :func:`run_experiment`."""
+
+    def runner(experiment_fn, quick: bool = False) -> ExperimentResult:
+        return run_experiment(benchmark, experiment_fn, quick=quick)
+
+    return runner

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Extending the strategy database with a user-defined strategy.
+
+The paper's abstract promises that "the database of predefined
+strategies can be easily extended".  This example registers a custom
+strategy — bounded-width aggregation, packing at most four segments per
+packet — and benchmarks it against the built-in greedy aggregation and
+the no-aggregation reference on the same saturated 8-flow workload.
+
+The resulting table is a miniature of the paper's argument: under
+multi-flow load, every extra segment a packet may carry buys throughput
+*and* latency, because each aggregated entry saves one per-request
+start-up.
+
+Run:  python examples/custom_strategy.py
+"""
+
+from repro import Cluster, register_strategy
+from repro.core.strategies import Strategy
+from repro.core.strategies._builder import build_from_queue
+from repro.middleware import uniform_small_flows
+from repro.runtime import run_session
+from repro.util.units import us
+
+
+@register_strategy("bounded-width")
+class BoundedWidthStrategy(Strategy):
+    """Aggregate at most four segments per packet.
+
+    A deliberately simple policy to show the extension surface: a
+    strategy sees the engine (waiting lists, config, cost model) and the
+    idle driver (capabilities), and returns one TransferPlan built with
+    the same constraint-preserving builder the predefined strategies
+    use.
+    """
+
+    WIDTH = 4
+
+    def make_plan(self, engine, driver):
+        for queue in engine.queues_for(driver):
+            plan = build_from_queue(engine, driver, queue, max_items=self.WIDTH)
+            if plan is not None:
+                return plan
+        return None
+
+
+def run(strategy):
+    cluster = Cluster(n_nodes=2, strategy=strategy, seed=7)
+    apps = uniform_small_flows(8, size=256, count=150, interval=2 * us)
+    return run_session(cluster, [a.install for a in apps])
+
+
+def main() -> None:
+    print(f"{'strategy':<16}{'tput MB/s':>12}{'mean lat us':>14}{'agg ratio':>12}{'tx':>8}")
+    print("-" * 62)
+    for name in ("aggregate", "bounded-width", "eager"):
+        report = run(name)
+        print(
+            f"{name:<16}{report.throughput / 1e6:>12.1f}"
+            f"{report.latency.mean * 1e6:>14.1f}"
+            f"{report.aggregation_ratio:>12.2f}"
+            f"{report.network_transactions:>8}"
+        )
+    print()
+    print("Registering a strategy is one decorator; scenarios select it by")
+    print("name exactly like the built-ins (Cluster(strategy='bounded-width')).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Multirail scheduling over NICs of different technologies.
+
+Paper §2: the scheduler "may also perform dynamic load balancing on
+multiple resources, multiple NICs, or even NICs from multiple
+technologies".  This example attaches every node to a Myrinet network
+*and* a Quadrics network, pushes bulk rendezvous traffic plus small
+messages, and shows how the pooled scheduler stripes bulk data across
+both rails in proportion to their speed — self-balancing, because the
+faster NIC goes idle (and asks for the next chunk) sooner.
+
+Run:  python examples/heterogeneous_rails.py
+"""
+
+from repro import Cluster, EngineConfig, TrafficClass
+from repro.middleware import StreamApp, uniform_small_flows
+from repro.runtime import run_session
+from repro.util.units import KiB, MiB, format_rate, format_size, us
+
+
+def run(rail_binding: str):
+    cluster = Cluster(
+        n_nodes=2,
+        networks=[("mx", 1), ("elan", 1)],
+        seed=42,
+        config=EngineConfig(stripe_chunk=32 * KiB, rail_binding=rail_binding),
+    )
+    workloads = [
+        StreamApp(size=1 * MiB, count=8, interval=10 * us, header_size=0,
+                  traffic_class=TrafficClass.BULK, name=f"bulk{i}")
+        for i in range(2)
+    ] + uniform_small_flows(4, size=256, count=100, interval=2 * us)
+    report = run_session(cluster, [a.install for a in workloads])
+    return cluster, report
+
+
+def main() -> None:
+    for binding in ("pooled", "static"):
+        cluster, report = run(binding)
+        print(f"=== rail binding: {binding} ===")
+        print(f"aggregate throughput : {format_rate(report.throughput)}")
+        print(f"mean latency         : {report.latency.mean * 1e6:.1f} us")
+        print("per-rail activity:")
+        for nic in cluster.fabric.node("n0").nics:
+            stats = nic.stats
+            print(
+                f"  {nic.name:<12} ({nic.link.name:>4})  "
+                f"{stats.requests:>4} requests  "
+                f"{format_size(stats.payload_bytes):>10}  "
+                f"busy {stats.busy_time * 1e3:.2f} ms"
+            )
+        print()
+
+    print("With pooled scheduling both rails stay busy and the Elan rail —")
+    print("1.4x faster — naturally carries proportionally more bytes; static")
+    print("channel->NIC binding leaves capacity on the table (experiment E6).")
+
+
+if __name__ == "__main__":
+    main()

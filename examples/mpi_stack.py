@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""MPI on Madeleine: the historical MPICH-Madeleine stack in miniature.
+
+Runs a tagged MPI-style workload — ping-pong, wildcard receives feeding
+a worker pool, and a dissemination barrier — entirely through
+``repro.mpi``, whose communicators sit on the public packing API and
+therefore behind the optimization engine like any other middleware.
+
+Run:  python examples/mpi_stack.py
+"""
+
+from repro import Cluster
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiWorld
+from repro.sim import Process
+from repro.util.units import KiB, format_time
+
+
+def main() -> None:
+    cluster = Cluster(n_nodes=4, seed=2006)
+    world = MpiWorld(cluster)
+    sim = cluster.sim
+
+    # --- 1. tagged ping-pong between ranks 0 and 1 --------------------
+    rtts = []
+
+    def pingpong_rank0():
+        c = world.comm(0)
+        for i in range(50):
+            start = sim.now
+            c.isend(dest=1, size=64, tag=i)
+            yield c.irecv(source=1, tag=i).future
+            rtts.append(sim.now - start)
+
+    def pingpong_rank1():
+        c = world.comm(1)
+        for i in range(50):
+            yield c.irecv(source=0, tag=i).future
+            c.isend(dest=0, size=64, tag=i)
+
+    Process(sim, pingpong_rank0())
+    Process(sim, pingpong_rank1())
+
+    # --- 2. a worker draining wildcard receives ------------------------
+    # Ranks 0..2 all fire work items at rank 3; the worker takes them in
+    # completion order with ANY_SOURCE/ANY_TAG — the unexpected-message
+    # machinery in action.
+    drained = []
+
+    for producer in range(3):
+        c = world.comm(producer)
+        for k in range(10):
+            c.isend(dest=3, size=2 * KiB, tag=100 + k)
+
+    def worker():
+        c = world.comm(3)
+        for _ in range(30):
+            status = yield c.irecv(source=ANY_SOURCE, tag=ANY_TAG).future
+            drained.append((status.source, status.tag))
+
+    Process(sim, worker())
+
+    # --- 3. a barrier across all four ranks ----------------------------
+    barriers = [world.comm(rank).barrier() for rank in range(4)]
+
+    cluster.run_until_idle()
+
+    print(f"ping-pong mean RTT        : {format_time(sum(rtts) / len(rtts))}")
+    print(f"work items drained        : {len(drained)} from sources "
+          f"{sorted(set(s for s, _ in drained))}")
+    print(f"barrier released all ranks: {all(b.done for b in barriers)}")
+    report = cluster.report()
+    print(f"engine stats              : {report.network_transactions} transactions, "
+          f"aggregation {report.aggregation_ratio:.2f}")
+    print()
+    print("Every MPI message above went through the waiting lists and the")
+    print("NIC-idle-triggered optimizer — the MPICH-Madeleine layering.")
+
+
+if __name__ == "__main__":
+    main()

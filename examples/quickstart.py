@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: send structured messages through the optimization engine.
+
+Builds a two-node Myrinet/MX cluster, opens a flow, packs a structured
+message through the Madeleine API (express header + bulk payload), and
+prints what the engine did with it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, PackMode, TrafficClass
+from repro.util.units import KiB, format_size, format_time
+
+
+def main() -> None:
+    # One call wires the whole Figure-1 stack on every node:
+    # packing API -> optimizer-scheduler -> MX driver -> simulated NIC.
+    cluster = Cluster(n_nodes=2, networks=[("mx", 1)], engine="optimizing")
+    api = cluster.api("n0")
+
+    # A flow is what a middleware opens once and streams messages over.
+    flow = api.open_flow("n1", traffic_class=TrafficClass.DEFAULT)
+
+    # Structured message, Madeleine style: a small express header the
+    # receiver can read early, then the payload, packed CHEAPER so the
+    # engine may aggregate/reorder it freely.
+    session = api.begin(flow)
+    session.pack(16, express=True)
+    session.pack(4 * KiB, mode=PackMode.CHEAPER)
+    message = session.flush()
+
+    # A burst of small sends from the same application: while the NIC is
+    # busy with the first packet these accumulate in the waiting lists
+    # and go out aggregated.
+    burst = [api.send(flow, 64) for _ in range(10)]
+
+    cluster.run_until_idle()
+
+    print("first message delivered at", format_time(message.completion.value))
+    print("burst delivered by        ", format_time(max(m.completion.value for m in burst)))
+
+    report = cluster.report()
+    stats = cluster.engine("n0").stats
+    print()
+    print(f"messages completed    : {report.messages}")
+    print(f"payload delivered     : {format_size(report.total_bytes)}")
+    print(f"network transactions  : {report.network_transactions}")
+    print(f"aggregation ratio     : {stats.aggregation_ratio:.2f} segments/packet")
+    print(f"optimizer activations : {dict(sorted(stats.activations.items()))}")
+    print()
+    print("Eleven messages, far fewer wire packets: that is the paper's")
+    print("NIC-idle-triggered aggregation at work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Top-level command line interface.
+
+Usage::
+
+    python -m repro info                 # versions, technologies, strategies
+    python -m repro run scenario.json    # execute a declarative scenario
+    python -m repro bench [ids] [--quick]  # alias for python -m repro.bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.util.units import format_rate, format_time
+
+
+def _cmd_info(_args) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    from repro.core.strategies import STRATEGY_TYPES
+    from repro.network.technologies import TECHNOLOGIES
+    from repro.runtime.scenario import APP_TYPES, POLICY_TYPES
+
+    print(f"repro {repro.__version__} — NewMadeleine-style optimization engine")
+    print(f"technologies : {', '.join(sorted(TECHNOLOGIES))}")
+    print(f"strategies   : {', '.join(sorted(STRATEGY_TYPES))}")
+    print(f"policies     : {', '.join(sorted(POLICY_TYPES))}")
+    print(f"workload apps: {', '.join(sorted(APP_TYPES))}")
+    print(f"experiments  : {', '.join(ALL_EXPERIMENTS)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.network.virtual import TrafficClass
+    from repro.runtime.scenario import load_scenario_file, run_scenario
+
+    scenario = load_scenario_file(args.scenario)
+    report, cluster, apps = run_scenario(scenario)
+    name = scenario.get("name", args.scenario)
+    print(f"== scenario: {name} ==")
+    print(f"virtual time         : {format_time(cluster.sim.now)}")
+    print(f"messages completed   : {report.messages}")
+    print(f"payload delivered    : {report.total_bytes} B")
+    print(f"throughput           : {format_rate(report.throughput)}")
+    print(f"mean latency         : {report.latency.mean * 1e6:.2f} us")
+    print(f"p99 latency          : {report.latency.p99 * 1e6:.2f} us")
+    print(f"network transactions : {report.network_transactions}")
+    print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
+    print(f"rendezvous transfers : {report.rdv_count}")
+    if report.latency_by_class:
+        print("per-class mean latency:")
+        for traffic_class in TrafficClass:
+            summary = report.latency_by_class.get(traffic_class)
+            if summary is not None:
+                print(
+                    f"  {traffic_class.value:<8} {summary.mean * 1e6:10.2f} us "
+                    f"(n={summary.count})"
+                )
+    if args.histogram and report.messages > 1:
+        from repro.util.stats import ascii_histogram
+
+        latencies_us = [r.latency * 1e6 for r in cluster.metrics.records]
+        print("latency histogram (us):")
+        print(ascii_histogram(latencies_us, fmt="{:.1f}"))
+    incomplete = [a.name for a in apps if not a.done.done]
+    if incomplete:
+        print(f"WARNING: workloads not finished: {incomplete}")
+        return 1
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    forwarded = list(args.experiments)
+    if args.quick:
+        forwarded.append("--quick")
+    if args.chart:
+        forwarded.append("--chart")
+    return bench_main(forwarded)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="list registered components").set_defaults(
+        func=_cmd_info
+    )
+
+    run_parser = subparsers.add_parser("run", help="execute a scenario file")
+    run_parser.add_argument("scenario", help="path to a scenario JSON file")
+    run_parser.add_argument(
+        "--histogram", action="store_true", help="show the latency histogram"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    bench_parser = subparsers.add_parser("bench", help="run experiments")
+    bench_parser.add_argument("experiments", nargs="*", metavar="ID")
+    bench_parser.add_argument("--quick", action="store_true")
+    bench_parser.add_argument("--chart", action="store_true")
+    bench_parser.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Baseline engines the paper compares against.
+
+:class:`~repro.baseline.legacy.LegacyEngine` models the *previous*
+Madeleine (paper §2: "this previous version of Madeleine was not
+designed to perform cross-flow optimization and its design was limited
+to deterministic flow manipulations").
+"""
+
+from repro.baseline.legacy import LegacyEngine, LegacyStrategy
+
+__all__ = ["LegacyEngine", "LegacyStrategy"]

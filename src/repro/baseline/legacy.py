@@ -1,0 +1,109 @@
+"""The deterministic Madeleine-3 baseline engine.
+
+What "deterministic flow manipulations" (paper §2) means operationally,
+and how this engine differs from the optimizing one:
+
+* **application-triggered** — every submit immediately tries to send;
+  there is no idle-triggered lookahead accumulation discipline (the
+  backlog that *does* form while a NIC is busy is drained strictly in
+  order);
+* **no cross-flow optimization** — fragments are aggregated only with
+  fragments *of the same message* (what one ``mad_end_packing`` flush
+  produced), never across messages or flows;
+* **one-to-one flow→channel mapping** — the §2 fallback policy, served
+  round-robin with no traffic-class awareness;
+* **rendezvous blocks its channel** — the synchronous mad3 semantics: a
+  channel whose head message negotiates a rendezvous sends nothing else
+  until the bulk data has left (head-of-line blocking);
+* **no multirail balancing** — channels are statically bound to NICs
+  (``rail_binding="static"`` behaviour) and large transfers are never
+  striped.
+"""
+
+from __future__ import annotations
+
+from repro.core.channels import ChannelPolicy, OneToOneChannels
+from repro.core.config import EngineConfig
+from repro.core.engine import CommEngineBase
+from repro.core.strategies._builder import build_from_queue
+from repro.core.strategies.base import Strategy, register_strategy
+from repro.drivers.base import Driver
+from repro.madeleine.submit import EntryState, SubmitEntry
+
+__all__ = ["LegacyStrategy", "LegacyEngine"]
+
+
+@register_strategy("legacy")
+class LegacyStrategy(Strategy):
+    """FIFO service, same-message-only aggregation, rendezvous HOL block."""
+
+    def make_plan(self, engine: CommEngineBase, driver: Driver):
+        blocked = getattr(engine, "blocked_channels", None)
+        for queue in engine.queues_for(driver):
+            stalled = False
+            if blocked is not None and queue.channel_id in blocked:
+                entry = blocked[queue.channel_id]
+                if entry.state is EntryState.SENT:
+                    del blocked[queue.channel_id]
+                else:
+                    # Rendezvous in flight: the channel sends protocol
+                    # traffic only (REQ/ACK and the bulk data itself).
+                    stalled = True
+            plan = build_from_queue(
+                engine,
+                driver,
+                queue,
+                max_items=driver.max_segments_per_packet(),
+                same_message_only=True,
+                protocol_only=stalled,
+            )
+            if plan is not None:
+                return plan
+        return None
+
+
+class LegacyEngine(CommEngineBase):
+    """The previous Madeleine: deterministic, per-flow, app-triggered."""
+
+    def __init__(
+        self,
+        sim,
+        node,
+        drivers,
+        *,
+        policy: ChannelPolicy | None = None,
+        config: EngineConfig | None = None,
+        **kwargs,
+    ) -> None:
+        if config is None:
+            config = EngineConfig(
+                rail_binding="static",
+                stripe_chunk=None,
+                nagle_delay=0.0,
+            )
+        super().__init__(
+            sim,
+            node,
+            drivers,
+            strategy=LegacyStrategy(),
+            policy=policy if policy is not None else OneToOneChannels(),
+            config=config,
+            **kwargs,
+        )
+        #: channel_id → parked entry whose rendezvous stalls the channel.
+        self.blocked_channels: dict[int, SubmitEntry] = {}
+
+    def park_for_rendezvous(self, entry: SubmitEntry, channel_id: int) -> None:
+        """Park as usual, but stall the channel until the bulk has left."""
+        super().park_for_rendezvous(entry, channel_id)
+        self.blocked_channels[channel_id] = entry
+
+    # Legacy activation: pump on every submission *and* on NIC idle
+    # (the NIC-idle drain exists in any library; what legacy lacks is
+    # the optimization the backlog could have enabled).
+    def _after_submit(self) -> None:
+        if any(d.idle for d in self.drivers):
+            self._pump("submit")
+
+    def _nic_idle(self, nic) -> None:
+        self._pump("idle")

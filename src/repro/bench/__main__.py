@@ -1,0 +1,81 @@
+"""Command-line entry point: run every experiment and print its table.
+
+Usage::
+
+    python -m repro.bench            # full axes
+    python -m repro.bench --quick    # reduced axes (CI-sized)
+    python -m repro.bench E2 E7      # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced axes")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each experiment's declared figure as an ASCII chart",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="additionally write all results as one markdown document",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+
+    results = []
+    for experiment_id in selected:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[experiment_id](quick=args.quick)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(result.render())
+        if args.chart:
+            from repro.bench.figures import render_result_figure
+
+            chart = render_result_figure(result)
+            if chart is not None:
+                print(chart)
+        print(f"  ({elapsed:.2f} s wall)\n")
+    if args.markdown:
+        from pathlib import Path
+
+        from repro.bench.harness import format_table
+
+        sections = ["# Experiment results\n"]
+        for result in results:
+            sections.append(f"## {result.experiment_id} — {result.title}\n")
+            sections.append("```")
+            sections.append(format_table(result.columns, result.rows))
+            sections.append("```\n")
+            for note in result.notes:
+                sections.append(f"* {note}")
+            sections.append("")
+        Path(args.markdown).write_text("\n".join(sections), encoding="utf-8")
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

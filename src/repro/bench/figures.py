@@ -1,0 +1,110 @@
+"""ASCII figure rendering for experiment series.
+
+The paper era would have plotted these with gnuplot; offline and
+terminal-first, we render each experiment's series as an ASCII chart so
+``python -m repro.bench --chart`` regenerates *figures*, not just
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["render_series", "render_result_figure"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    return min(int((value - lo) / (hi - lo) * (cells - 1)), cells - 1)
+
+
+def render_series(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "x",
+    log_x: bool = False,
+) -> str:
+    """Render one or more y-series over a shared x axis.
+
+    Each series gets a marker (legend below the chart); y is always
+    linear, x may be logarithmic for sweeps over powers of two.
+    """
+    if width < 20 or height < 5:
+        raise ConfigurationError("chart must be at least 20x5")
+    if not x:
+        raise ConfigurationError("empty x axis")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(x)} x values"
+            )
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+
+    if log_x and any(v <= 0 for v in x):
+        raise ConfigurationError("log_x requires positive x values")
+    xs = [math.log(v) if log_x else float(v) for v in x]
+    x_lo, x_hi = min(xs), max(xs)
+    all_y = [float(v) for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for xv, yv in zip(xs, ys):
+            col = _scale(xv, x_lo, x_hi, width)
+            row = height - 1 - _scale(float(yv), y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    left_labels = [f"{y_hi:.3g}", f"{(y_lo + y_hi) / 2:.3g}", f"{y_lo:.3g}"]
+    label_width = max(len(s) for s in left_labels)
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = left_labels[0]
+        elif i == height // 2:
+            label = left_labels[1]
+        elif i == height - 1:
+            label = left_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    x_axis = f"{min(x):g}"
+    x_end = f"{max(x):g}"
+    pad = width - len(x_axis) - len(x_end)
+    lines.append(f"{'':>{label_width}}  {x_axis}{' ' * max(pad, 1)}{x_end}")
+    scale_tag = " (log x)" if log_x else ""
+    legend = ", ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(f"{'':>{label_width}}  {x_label}{scale_tag}   [{legend}]")
+    return "\n".join(lines)
+
+
+def render_result_figure(result, *, width: int = 60, height: int = 14) -> str | None:
+    """Render an :class:`ExperimentResult`'s declared figure, if any.
+
+    Experiments declare ``result.figure = (x_column, [y_columns],
+    log_x)``; results without one return ``None``.
+    """
+    figure = getattr(result, "figure", None)
+    if figure is None:
+        return None
+    x_column, y_columns, log_x = figure
+    x = result.column(x_column)
+    series = {name: result.column(name) for name in y_columns}
+    chart = render_series(
+        x, series, width=width, height=height, x_label=x_column, log_x=log_x
+    )
+    return f"-- figure: {result.experiment_id} --\n{chart}"

@@ -1,0 +1,92 @@
+"""Plan cost/score model.
+
+"Estimating the value of a given packet reordering operation" (paper §3)
+needs a number.  The model here is capability-parameterized through the
+plan's driver: the same strategy code scores differently on MX and Elan
+because their α/β/copy/gather structures differ.
+
+``occupancy`` — predicted NIC busy time of the plan (what the request
+*costs*).
+
+``score`` — value density with two corrections:
+
+* every included entry is credited one request start-up's worth of
+  bytes (α·β): aggregating it into this packet saves the α a dedicated
+  packet would have paid — without this, density scoring is myopic and
+  prefers narrow plans;
+* staleness multiplies the score by a *bounded* boost (≤ 2×): starving
+  entries eventually win ties, but staleness can never make a tiny
+  packet out-score a far more efficient aggregate (an unbounded aging
+  credit divided by a tiny occupancy does exactly that).
+
+Control plans get a strong fixed urgency — delaying a rendezvous ACK
+stalls a bulk transfer end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import TransferPlan
+from repro.network.wire import (
+    HEADER_BYTES_PER_SEGMENT,
+    PACKET_HEADER_BYTES,
+)
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Scores transfer plans for strategy ranking.
+
+    Parameters
+    ----------
+    starvation_horizon:
+        Waiting time (s) at which the staleness boost saturates at 2×.
+    control_bonus_bytes:
+        Virtual payload credited to control plans so REQ/ACK traffic is
+        never starved by byte-count scoring.
+    """
+
+    starvation_horizon: float = 1e-3
+    control_bonus_bytes: float = 4096.0
+
+    def wire_bytes(self, plan: TransferPlan) -> int:
+        """Predicted on-wire size of the plan's packet (with framing)."""
+        return (
+            PACKET_HEADER_BYTES
+            + plan.segment_count * HEADER_BYTES_PER_SEGMENT
+            + plan.payload_bytes
+        )
+
+    def occupancy(self, plan: TransferPlan) -> float:
+        """Predicted sender-side NIC busy time of the plan."""
+        driver = plan.driver
+        size = self.wire_bytes(plan)
+        if plan.kind.is_control:
+            aggregation = driver.choose_aggregation([size])
+        else:
+            aggregation = driver.choose_aggregation(
+                [item.take for item in plan.items]
+            )
+        mode = driver.choose_mode(plan.payload_bytes)
+        return driver.occupancy(size, mode, aggregation)
+
+    def score(self, plan: TransferPlan, now: float) -> float:
+        """Value density of the plan (higher is better); see module docs."""
+        driver = plan.driver
+        occupancy = self.occupancy(plan)
+        payload = float(plan.payload_bytes)
+        if plan.kind.is_control:
+            payload += self.control_bonus_bytes
+        link = driver.nic.link
+        mode = driver.choose_mode(plan.payload_bytes)
+        startup_equivalent = link.startup(mode) * link.bandwidth(mode)
+        saved = len(plan.items) * startup_equivalent
+        density = (payload + saved) / occupancy
+        oldest_wait = max(
+            (now - item.entry.submit_time for item in plan.items), default=0.0
+        )
+        boost = 1.0 + min(max(oldest_wait, 0.0) / self.starvation_horizon, 1.0)
+        return density * boost

@@ -1,0 +1,36 @@
+"""The ``eager`` strategy: one entry per packet, arrival order.
+
+The no-optimization reference point inside the new architecture: every
+eligible entry becomes its own wire packet.  Useful as an ablation (what
+does NIC-idle triggering buy *without* aggregation?) and as the policy
+of last resort the paper mentions ("may send packets as they become
+available, as a regular communication library would do").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.plan import Hold, TransferPlan
+from repro.core.strategies._builder import build_from_queue
+from repro.core.strategies.base import Strategy, register_strategy
+from repro.drivers.base import Driver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import CommEngineBase
+
+__all__ = ["EagerStrategy"]
+
+
+@register_strategy("eager")
+class EagerStrategy(Strategy):
+    """Send waiting entries one per packet, in arrival order."""
+
+    def make_plan(
+        self, engine: "CommEngineBase", driver: Driver
+    ) -> TransferPlan | Hold | None:
+        for queue in engine.queues_for(driver):
+            plan = build_from_queue(engine, driver, queue, max_items=1)
+            if plan is not None:
+                return plan
+        return None

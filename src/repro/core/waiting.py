@@ -1,0 +1,136 @@
+"""Waiting packet lists — the collect layer's output (Figure 1).
+
+Each channel (multiplexing unit) owns one :class:`ChannelQueue` holding
+submit entries in arrival order.  While a NIC is busy the queues simply
+grow — that accumulation *is* the lookahead pool the paper builds its
+optimization opportunities from (§3: "While the NIC is busy sending a
+packet, the scheduler simply accumulates a backlog of packets").
+
+Queues never reorder anything themselves; strategies read an ordered
+snapshot and pick.  Entries leave a queue when fully dispatched, or are
+*parked* out of it while a rendezvous handshake is in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.madeleine.submit import EntryState, SubmitEntry
+from repro.util.errors import ConfigurationError
+
+__all__ = ["ChannelQueue", "WaitingLists"]
+
+_PENDING_STATES = (EntryState.WAITING, EntryState.RDV_READY)
+
+
+class ChannelQueue:
+    """Arrival-ordered pending entries of one channel."""
+
+    def __init__(self, channel_id: int) -> None:
+        self.channel_id = channel_id
+        self._entries: deque[SubmitEntry] = deque()
+
+    def append(self, entry: SubmitEntry) -> None:
+        """Add an entry at the tail (arrival order)."""
+        self._entries.append(entry)
+
+    def remove(self, entry: SubmitEntry) -> None:
+        """Remove a specific entry (dispatch or rendezvous parking)."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise ConfigurationError(
+                f"entry #{entry.entry_id} not in channel {self.channel_id}"
+            ) from None
+
+    def _prune(self) -> None:
+        # Entries fully consumed elsewhere (striping finished their last
+        # bytes) or parked are dropped lazily from the head.
+        while self._entries and self._entries[0].state not in _PENDING_STATES:
+            self._entries.popleft()
+
+    def pending(self, window: int | None = None) -> list[SubmitEntry]:
+        """The first ``window`` pending entries in arrival order.
+
+        ``window`` is the paper's *lookahead window*: how many waiting
+        packets the optimizer may examine per decision.  ``None`` means
+        unbounded.
+        """
+        self._prune()
+        result = []
+        for entry in self._entries:
+            if entry.state not in _PENDING_STATES:
+                continue
+            result.append(entry)
+            if window is not None and len(result) >= window:
+                break
+        return result
+
+    @property
+    def oldest_submit_time(self) -> float | None:
+        """Submit time of the oldest pending entry (None when empty)."""
+        self._prune()
+        for entry in self._entries:
+            if entry.state in _PENDING_STATES:
+                return entry.submit_time
+        return None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Total remaining bytes over all pending entries."""
+        return sum(e.remaining for e in self.pending())
+
+    def __len__(self) -> int:
+        return len(self.pending())
+
+    def __bool__(self) -> bool:
+        self._prune()
+        return any(e.state in _PENDING_STATES for e in self._entries)
+
+
+class WaitingLists:
+    """All channel queues of one engine."""
+
+    def __init__(self) -> None:
+        self._queues: dict[int, ChannelQueue] = {}
+
+    def queue(self, channel_id: int) -> ChannelQueue:
+        """The queue for a channel, created on first use."""
+        if channel_id not in self._queues:
+            self._queues[channel_id] = ChannelQueue(channel_id)
+        return self._queues[channel_id]
+
+    def enqueue(self, entry: SubmitEntry, channel_id: int) -> None:
+        """Append an entry to its channel's queue."""
+        self.queue(channel_id).append(entry)
+
+    def non_empty(self) -> Iterator[ChannelQueue]:
+        """Queues with at least one pending entry, in channel-id order."""
+        for channel_id in sorted(self._queues):
+            q = self._queues[channel_id]
+            if q:
+                yield q
+
+    @property
+    def total_pending(self) -> int:
+        """Pending entries across all channels."""
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def total_pending_bytes(self) -> int:
+        """Pending bytes across all channels."""
+        return sum(q.pending_bytes for q in self._queues.values())
+
+    @property
+    def oldest_submit_time(self) -> float | None:
+        """Oldest pending submit time across all channels."""
+        times = [
+            t
+            for q in self._queues.values()
+            if (t := q.oldest_submit_time) is not None
+        ]
+        return min(times) if times else None
+
+    def __bool__(self) -> bool:
+        return any(q for q in self._queues.values())

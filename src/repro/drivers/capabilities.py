@@ -1,0 +1,106 @@
+"""Driver capability descriptors.
+
+The strategy database never hardcodes technology behaviour; every
+decision (can I aggregate? by copy or by gather? how large? eager or
+rendezvous? PIO or DMA?) queries the :class:`DriverCapabilities` of the
+candidate driver.  This is the paper's "optimizations are parameterized
+by the capabilities of the underlying network drivers", and it is what
+makes the same strategy code portable across MX, Elan, IB and TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import KiB, us
+
+__all__ = ["DriverCapabilities"]
+
+
+@dataclass(frozen=True, slots=True)
+class DriverCapabilities:
+    """What one driver/NIC combination can do, and at which thresholds.
+
+    Parameters
+    ----------
+    technology:
+        Tag matching the :class:`~repro.network.model.LinkModel` name.
+    supports_pio / supports_dma:
+        Available transfer modes (at least one must be true).
+    pio_threshold:
+        Prefer PIO for payloads at or below this size (ignored when PIO
+        is unsupported).
+    supports_gather / max_gather_entries:
+        Hardware scatter/gather: maximum descriptor entries per request
+        (1 means contiguous only).
+    max_aggregate_size:
+        Largest eager packet payload the driver accepts — the hard cap on
+        aggregation.
+    eager_threshold:
+        Payloads above this switch to the rendezvous protocol.
+    supports_rdv:
+        Whether the rendezvous protocol is implemented (TCP-style streams
+        may do without).
+    rdv_ack_delay:
+        Receiver-side delay between RDV_REQ arrival and ACK emission
+        (memory pinning, buffer posting).
+    max_channels:
+        Number of virtualized multiplexing units the NIC exposes.
+    """
+
+    technology: str
+    supports_pio: bool = True
+    supports_dma: bool = True
+    pio_threshold: int = 4 * KiB
+    supports_gather: bool = True
+    max_gather_entries: int = 16
+    max_aggregate_size: int = 32 * KiB
+    eager_threshold: int = 32 * KiB
+    supports_rdv: bool = True
+    rdv_ack_delay: float = 2.0 * us
+    max_channels: int = 8
+
+    def __post_init__(self) -> None:
+        if not (self.supports_pio or self.supports_dma):
+            raise ConfigurationError(
+                f"driver {self.technology!r} supports neither PIO nor DMA"
+            )
+        if self.max_gather_entries < 1:
+            raise ConfigurationError(
+                f"max_gather_entries must be >= 1, got {self.max_gather_entries}"
+            )
+        if self.supports_gather and self.max_gather_entries < 2:
+            raise ConfigurationError(
+                "supports_gather requires max_gather_entries >= 2"
+            )
+        if self.max_aggregate_size < 1:
+            raise ConfigurationError(
+                f"max_aggregate_size must be >= 1, got {self.max_aggregate_size}"
+            )
+        if self.eager_threshold < 0:
+            raise ConfigurationError(
+                f"eager_threshold must be >= 0, got {self.eager_threshold}"
+            )
+        if self.rdv_ack_delay < 0:
+            raise ConfigurationError(
+                f"rdv_ack_delay must be >= 0, got {self.rdv_ack_delay}"
+            )
+        if self.max_channels < 1:
+            raise ConfigurationError(
+                f"max_channels must be >= 1, got {self.max_channels}"
+            )
+        if self.pio_threshold < 0:
+            raise ConfigurationError(
+                f"pio_threshold must be >= 0, got {self.pio_threshold}"
+            )
+
+    @property
+    def aggregation_limit(self) -> int:
+        """Max payload slices combinable in one request.
+
+        1 when gather is unsupported *and* copies are the only option —
+        by-copy aggregation is always possible, so this reports the
+        gather bound only; strategies combine it with size limits.
+        """
+        return self.max_gather_entries if self.supports_gather else 1

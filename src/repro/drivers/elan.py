@@ -1,0 +1,33 @@
+"""Mad.Driver/Elan — the Quadrics QsNet II (Elan4) driver."""
+
+from __future__ import annotations
+
+from repro.drivers.base import Driver
+from repro.drivers.capabilities import DriverCapabilities
+from repro.network.nic import NIC
+from repro.util.units import KiB, us
+
+__all__ = ["ElanDriver", "ELAN_CAPABILITIES"]
+
+#: Elan4 profile: aggressive PIO window (STEN packets), large gather
+#: budget, low-latency rendezvous thanks to the on-NIC thread processor.
+ELAN_CAPABILITIES = DriverCapabilities(
+    technology="elan",
+    supports_pio=True,
+    supports_dma=True,
+    pio_threshold=2 * KiB,
+    supports_gather=True,
+    max_gather_entries=32,
+    max_aggregate_size=64 * KiB,
+    eager_threshold=64 * KiB,
+    supports_rdv=True,
+    rdv_ack_delay=1.5 * us,
+    max_channels=16,
+)
+
+
+class ElanDriver(Driver):
+    """Driver for Quadrics/Elan NICs."""
+
+    def __init__(self, nic: NIC, caps: DriverCapabilities = ELAN_CAPABILITIES) -> None:
+        super().__init__(nic, caps)

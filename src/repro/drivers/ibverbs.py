@@ -1,0 +1,33 @@
+"""Mad.Driver/IB — InfiniBand verbs driver (2005-era Mellanox HCA)."""
+
+from __future__ import annotations
+
+from repro.drivers.base import Driver
+from repro.drivers.capabilities import DriverCapabilities
+from repro.network.nic import NIC
+from repro.util.units import KiB, us
+
+__all__ = ["IbverbsDriver", "IB_CAPABILITIES"]
+
+#: Verbs profile: tiny inline-send window standing in for PIO, strict
+#: registration-driven rendezvous above 16 KiB, deep gather lists.
+IB_CAPABILITIES = DriverCapabilities(
+    technology="ib",
+    supports_pio=True,
+    supports_dma=True,
+    pio_threshold=256,  # verbs inline data
+    supports_gather=True,
+    max_gather_entries=30,
+    max_aggregate_size=16 * KiB,
+    eager_threshold=16 * KiB,
+    supports_rdv=True,
+    rdv_ack_delay=4.0 * us,  # memory registration is costly on IB
+    max_channels=16,
+)
+
+
+class IbverbsDriver(Driver):
+    """Driver for InfiniBand verbs NICs."""
+
+    def __init__(self, nic: NIC, caps: DriverCapabilities = IB_CAPABILITIES) -> None:
+        super().__init__(nic, caps)

@@ -1,0 +1,34 @@
+"""Mad.Driver/MX — the Myrinet MX driver (the paper's beta platform)."""
+
+from __future__ import annotations
+
+from repro.drivers.base import Driver
+from repro.drivers.capabilities import DriverCapabilities
+from repro.network.nic import NIC
+from repro.util.units import KiB, us
+
+__all__ = ["MxDriver", "MX_CAPABILITIES"]
+
+#: Capability profile of MX over Myrinet 2000: small-message PIO up to
+#: 4 KiB, 32 KiB eager/aggregate window (the MX medium-message cutoff),
+#: hardware gather with a modest descriptor budget.
+MX_CAPABILITIES = DriverCapabilities(
+    technology="mx",
+    supports_pio=True,
+    supports_dma=True,
+    pio_threshold=4 * KiB,
+    supports_gather=True,
+    max_gather_entries=16,
+    max_aggregate_size=32 * KiB,
+    eager_threshold=32 * KiB,
+    supports_rdv=True,
+    rdv_ack_delay=2.5 * us,
+    max_channels=8,
+)
+
+
+class MxDriver(Driver):
+    """Driver for Myrinet/MX NICs."""
+
+    def __init__(self, nic: NIC, caps: DriverCapabilities = MX_CAPABILITIES) -> None:
+        super().__init__(nic, caps)

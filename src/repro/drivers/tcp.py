@@ -1,0 +1,37 @@
+"""Mad.Driver/TCP — kernel TCP/GigE fallback driver.
+
+A deliberately constrained profile: no PIO/DMA distinction visible to
+the user, no hardware gather (writev is modelled as by-copy because the
+kernel copies anyway), no rendezvous (the stream flow-controls itself).
+Exercises the engine's capability-degradation paths.
+"""
+
+from __future__ import annotations
+
+from repro.drivers.base import Driver
+from repro.drivers.capabilities import DriverCapabilities
+from repro.network.nic import NIC
+from repro.util.units import KiB
+
+__all__ = ["TcpDriver", "TCP_CAPABILITIES"]
+
+TCP_CAPABILITIES = DriverCapabilities(
+    technology="tcp",
+    supports_pio=False,
+    supports_dma=True,
+    pio_threshold=0,
+    supports_gather=False,
+    max_gather_entries=1,
+    max_aggregate_size=64 * KiB,
+    eager_threshold=64 * KiB,
+    supports_rdv=False,
+    rdv_ack_delay=0.0,
+    max_channels=4,
+)
+
+
+class TcpDriver(Driver):
+    """Driver for TCP/GigE sockets."""
+
+    def __init__(self, nic: NIC, caps: DriverCapabilities = TCP_CAPABILITIES) -> None:
+        super().__init__(nic, caps)

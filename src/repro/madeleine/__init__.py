@@ -1,0 +1,31 @@
+"""The Madeleine messaging layer.
+
+Implements the *application-visible* half of the library: structured
+messages built through the Madeleine packing interface (paper §3:
+"structured messages with one or more fragments expressing what the
+message carries … and one or more other fragments being the actual
+data"), flows between node pairs, the submit-entry representation that
+feeds the engines, and receiver-side message reassembly.
+
+The *engines* that move these messages live elsewhere: the paper's
+optimizing engine in :mod:`repro.core`, the deterministic Madeleine-3
+baseline in :mod:`repro.baseline`.
+"""
+
+from repro.madeleine.api import MadAPI, PackingSession
+from repro.madeleine.message import Flow, Fragment, Message, PackMode
+from repro.madeleine.rx import MessageReassembler
+from repro.madeleine.submit import EntryKind, EntryState, SubmitEntry
+
+__all__ = [
+    "EntryKind",
+    "EntryState",
+    "Flow",
+    "Fragment",
+    "MadAPI",
+    "Message",
+    "MessageReassembler",
+    "PackMode",
+    "PackingSession",
+    "SubmitEntry",
+]

@@ -1,0 +1,94 @@
+"""Madeleine-3 style function API (``mad_*``).
+
+Code written against the historical C interface of reference [1]
+translates line by line::
+
+    connection = mad_begin_packing(api, flow)
+    mad_pack(connection, 16, mad_send_SAFER, mad_receive_EXPRESS)
+    mad_pack(connection, 4096, mad_send_CHEAPER, mad_receive_CHEAPER)
+    message = mad_end_packing(connection)
+
+    connection = mad_begin_unpacking(api, flow)
+    header = mad_unpack(connection, 16, mad_send_SAFER, mad_receive_EXPRESS)
+    body = mad_unpack(connection, 4096, mad_send_CHEAPER, mad_receive_CHEAPER)
+    mad_end_unpacking(connection)   # future; resolves at full delivery
+
+The mode pairs map exactly: the send mode becomes the fragment's
+:class:`~repro.madeleine.message.PackMode`; ``mad_receive_EXPRESS``
+marks the fragment express (readable ahead of the body).
+"""
+
+from __future__ import annotations
+
+from repro.madeleine.api import MadAPI, PackingSession, UnpackingSession
+from repro.madeleine.message import Flow, Message, PackMode
+
+__all__ = [
+    "mad_send_CHEAPER",
+    "mad_send_SAFER",
+    "mad_send_LATER",
+    "mad_receive_EXPRESS",
+    "mad_receive_CHEAPER",
+    "mad_begin_packing",
+    "mad_pack",
+    "mad_end_packing",
+    "mad_begin_unpacking",
+    "mad_unpack",
+    "mad_end_unpacking",
+]
+
+#: Send-mode constants (map to :class:`PackMode`).
+mad_send_CHEAPER = PackMode.CHEAPER
+mad_send_SAFER = PackMode.SAFER
+mad_send_LATER = PackMode.LATER
+
+#: Receive-mode constants.
+mad_receive_EXPRESS = "express"
+mad_receive_CHEAPER = "cheaper"
+
+
+def mad_begin_packing(api: MadAPI, flow: Flow) -> PackingSession:
+    """Open a packing connection on an outgoing flow."""
+    return api.begin(flow)
+
+
+def mad_pack(
+    connection: PackingSession,
+    size: int,
+    send_mode: PackMode = mad_send_CHEAPER,
+    receive_mode: str = mad_receive_CHEAPER,
+) -> PackingSession:
+    """Append one fragment with the classic (send, receive) mode pair."""
+    return connection.pack(
+        size, mode=send_mode, express=(receive_mode == mad_receive_EXPRESS)
+    )
+
+
+def mad_end_packing(connection: PackingSession) -> Message:
+    """Flush the message into the engine."""
+    return connection.flush()
+
+
+def mad_begin_unpacking(api: MadAPI, flow: Flow) -> UnpackingSession:
+    """Latch onto the next incoming message of a flow."""
+    return api.begin_unpacking(flow)
+
+
+def mad_unpack(
+    connection: UnpackingSession,
+    size: int,
+    send_mode: PackMode = mad_send_CHEAPER,
+    receive_mode: str = mad_receive_CHEAPER,
+):
+    """Future for the next fragment; validates the declared size.
+
+    ``send_mode``/``receive_mode`` are accepted for interface fidelity —
+    the sender's packing already fixed the wire behaviour.
+    """
+    del send_mode, receive_mode
+    return connection.unpack(size)
+
+
+def mad_end_unpacking(connection: UnpackingSession):
+    """Future resolving with the message once fully delivered."""
+    return connection.end()

@@ -1,0 +1,105 @@
+"""Common machinery for middleware workload apps."""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import TYPE_CHECKING, Sequence
+
+from repro.sim.process import Future, Process, all_of
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+__all__ = ["AppBase", "MiddlewareApp", "CollectiveApp"]
+
+_app_ids = itertools.count()
+
+
+class AppBase(abc.ABC):
+    """Process management shared by all workload apps.
+
+    Subclasses implement :meth:`_start`, spawning their processes with
+    :meth:`spawn`; ``install`` wires the app into a cluster and is
+    directly usable as a ``run_session`` workload installer.  ``done``
+    resolves when every spawned process finished.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name if name is not None else f"{type(self).__name__}{next(_app_ids)}"
+        self.done: Future = Future()
+        self._cluster: "Cluster | None" = None
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self, cluster: "Cluster") -> "AppBase":
+        """Attach the app to a cluster and start its processes."""
+        if self._cluster is not None:
+            raise ConfigurationError(f"app {self.name!r} installed twice")
+        self._cluster = cluster
+        self._start(cluster)
+        if not self._processes:
+            raise ConfigurationError(f"app {self.name!r} started no processes")
+        all_of([p.finished for p in self._processes]).add_callback(
+            lambda _value: self.done.resolve(None)
+        )
+        return self
+
+    @abc.abstractmethod
+    def _start(self, cluster: "Cluster") -> None:
+        """Open flows and spawn processes (subclass hook)."""
+
+    def spawn(self, generator, label: str = "proc") -> Process:
+        """Start one cooperative process belonging to this app."""
+        assert self._cluster is not None
+        process = Process(self._cluster.sim, generator, name=f"{self.name}.{label}")
+        self._processes.append(process)
+        return process
+
+    # ------------------------------------------------------------------
+    # conveniences for subclasses
+    # ------------------------------------------------------------------
+    def rng(self, label: str):
+        """A deterministic RNG stream namespaced to this app."""
+        assert self._cluster is not None
+        return self._cluster.stream(f"{self.name}.{label}")
+
+
+class MiddlewareApp(AppBase):
+    """A workload between exactly two nodes (one middleware instance)."""
+
+    def __init__(self, src: str, dst: str, name: str | None = None) -> None:
+        if src == dst:
+            raise ConfigurationError(f"app endpoints must differ, got {src!r} twice")
+        super().__init__(name)
+        self.src = src
+        self.dst = dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r} {self.src}->{self.dst})"
+
+
+class CollectiveApp(AppBase):
+    """A workload spanning a group of nodes (collective operations)."""
+
+    def __init__(self, nodes: Sequence[str], name: str | None = None) -> None:
+        nodes = list(nodes)
+        if len(nodes) < 2:
+            raise ConfigurationError(
+                f"a collective needs >= 2 nodes, got {len(nodes)}"
+            )
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError(f"duplicate nodes in group: {nodes}")
+        super().__init__(name)
+        self.nodes = nodes
+
+    @property
+    def size(self) -> int:
+        """Number of participating nodes."""
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r} over {self.nodes})"

@@ -1,0 +1,48 @@
+"""An MPI-flavoured interface over the optimization engine.
+
+Madeleine was the communication layer of MPICH-Madeleine; this package
+recreates that stack in miniature: rank-based communicators with
+tagged, wildcard-matched point-to-point operations — implemented purely
+on the public packing API, so every message goes through the
+optimizer-scheduler like any other middleware traffic.
+
+::
+
+    world = MpiWorld(cluster)
+    c0, c1 = world.comm(0), world.comm(1)
+
+    def rank0():
+        request = c0.isend(dest=1, size=4096, tag=7)
+        yield request.future            # wait for delivery
+
+    def rank1():
+        request = c1.irecv(source=ANY_SOURCE, tag=7)
+        status = yield request.future
+        assert status.size == 4096
+
+Semantics notes (documented deviations from MPI):
+
+* ``isend`` requests complete at *remote delivery* (synchronous-mode
+  semantics) — the simulation has no user buffers to hand back early;
+* message order is non-overtaking per (source, destination) on a single
+  rail; multirail striping may reorder completions between flows,
+  exactly as hardware multirail MPI does.
+"""
+
+from repro.mpi.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    MpiWorld,
+    Request,
+    Status,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MpiWorld",
+    "Request",
+    "Status",
+]

@@ -1,0 +1,237 @@
+"""Rank communicators, tag matching, and the matching engine.
+
+One :class:`MpiWorld` wraps a cluster: every ordered node pair gets a
+flow up front, and every rank runs a :class:`_Matcher` that pairs
+completed incoming messages with posted receives — including the
+*unexpected message queue*, the piece of MPI machinery that exists
+precisely because middlewares can't control arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.process import Future
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.madeleine.message import Message
+    from repro.runtime.cluster import Cluster
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Request", "Communicator", "MpiWorld"]
+
+#: Wildcard matching any sending rank.
+ANY_SOURCE = -1
+#: Wildcard matching any tag.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Status:
+    """Completion record of a receive (mirrors ``MPI_Status``)."""
+
+    source: int
+    tag: int
+    size: int
+    time: float
+
+
+class Request:
+    """Handle on an asynchronous operation.
+
+    ``future`` resolves with a :class:`Status` (receives) or the
+    delivery time (sends); ``test()`` polls, ``status`` reads the result
+    after completion.
+    """
+
+    __slots__ = ("future",)
+
+    def __init__(self) -> None:
+        self.future = Future()
+
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        return self.future.done
+
+    @property
+    def status(self):
+        """The resolved value; raises if the operation is still pending."""
+        return self.future.value
+
+
+class _Posted:
+    """One outstanding irecv: match specs plus the request to resolve."""
+
+    __slots__ = ("source", "tag", "request")
+
+    def __init__(self, source: int, tag: int, request: Request) -> None:
+        self.source = source
+        self.tag = tag
+        self.request = request
+
+    def matches(self, status: Status) -> bool:
+        return (self.source in (ANY_SOURCE, status.source)) and (
+            self.tag in (ANY_TAG, status.tag)
+        )
+
+
+class _Matcher:
+    """Per-rank matching engine: posted receives vs unexpected messages."""
+
+    def __init__(self) -> None:
+        self.posted: list[_Posted] = []
+        self.unexpected: list[Status] = []
+
+    def on_message(self, status: Status) -> None:
+        for posted in self.posted:
+            if posted.matches(status):
+                self.posted.remove(posted)
+                posted.request.future.resolve(status)
+                return
+        self.unexpected.append(status)
+
+    def post(self, source: int, tag: int, request: Request) -> None:
+        probe = _Posted(source, tag, request)
+        for status in self.unexpected:
+            if probe.matches(status):
+                self.unexpected.remove(status)
+                request.future.resolve(status)
+                return
+        self.posted.append(probe)
+
+    def probe(self, source: int, tag: int) -> Status | None:
+        probe = _Posted(source, tag, Request())
+        for status in self.unexpected:
+            if probe.matches(status):
+                return status
+        return None
+
+
+class MpiWorld:
+    """All ranks of a cluster plus the pairwise flow mesh."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.ranks = list(cluster.node_names)
+        self._rank_of = {name: i for i, name in enumerate(self.ranks)}
+        self._matchers = [_Matcher() for _ in self.ranks]
+        self._flows: dict[tuple[int, int], object] = {}
+        for src_rank, src in enumerate(self.ranks):
+            api = cluster.api(src)
+            for dst_rank, dst in enumerate(self.ranks):
+                if src == dst:
+                    continue
+                flow = api.open_flow(dst, name=f"mpi.{src_rank}->{dst_rank}")
+                self._flows[(src_rank, dst_rank)] = flow
+                cluster.api(dst).subscribe(
+                    flow, self._make_sink(src_rank, dst_rank)
+                )
+
+    def _make_sink(self, src_rank: int, dst_rank: int):
+        matcher = self._matchers[dst_rank]
+
+        def sink(message: "Message", now: float) -> None:
+            status = Status(
+                source=src_rank,
+                tag=message.context.get("tag", 0),
+                size=message.context.get("mpi_size", message.total_size),
+                time=now,
+            )
+            matcher.on_message(status)
+
+        return sink
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self.ranks)
+
+    def comm(self, rank: int) -> "Communicator":
+        """The communicator of one rank."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(f"rank {rank} outside [0, {self.size})")
+        return Communicator(self, rank)
+
+
+class Communicator:
+    """Point-to-point operations of one rank."""
+
+    def __init__(self, world: MpiWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self._api = world.cluster.api(world.ranks[rank])
+        self._matcher = world._matchers[rank]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.size
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def isend(
+        self, dest: int, size: int, tag: int = 0, header_size: int = 16
+    ) -> Request:
+        """Non-blocking tagged send; completes at remote delivery."""
+        if dest == self.rank:
+            raise ConfigurationError("self-sends are not supported")
+        if not 0 <= dest < self.size:
+            raise ConfigurationError(f"dest {dest} outside [0, {self.size})")
+        if tag < 0:
+            raise ConfigurationError(f"tag must be >= 0, got {tag}")
+        flow = self.world._flows[(self.rank, dest)]
+        message = self._api.send(
+            flow,
+            size,
+            header_size=header_size,
+            context={"tag": tag, "mpi_size": size},
+        )
+        request = Request()
+        message.completion.add_callback(request.future.resolve)
+        return request
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking tagged receive; resolves with a :class:`Status`."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ConfigurationError(f"source {source} outside [0, {self.size})")
+        request = Request()
+        self._matcher.post(source, tag, request)
+        return request
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Check the unexpected queue without consuming (``MPI_Iprobe``)."""
+        return self._matcher.probe(source, tag)
+
+    @property
+    def pending_unexpected(self) -> int:
+        """Depth of the unexpected-message queue."""
+        return len(self._matcher.unexpected)
+
+    # ------------------------------------------------------------------
+    # a tiny collective, built purely on the point-to-point layer
+    # ------------------------------------------------------------------
+    def barrier(self, tag: int = 1_000_000) -> Future:
+        """Dissemination barrier; the future resolves when this rank
+        may proceed.  Built entirely from isend/irecv chaining, so it
+        needs no cooperative process."""
+        done = Future()
+        n = self.size
+        steps = []
+        k = 1
+        while k < n:
+            steps.append(k)
+            k <<= 1
+
+        def run_step(index: int) -> None:
+            if index >= len(steps):
+                done.resolve(None)
+                return
+            step = steps[index]
+            self.isend((self.rank + step) % n, size=1, tag=tag + index, header_size=0)
+            request = self.irecv(source=(self.rank - step) % n, tag=tag + index)
+            request.future.add_callback(lambda _status: run_step(index + 1))
+
+        run_step(0)
+        return done

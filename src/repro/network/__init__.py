@@ -1,0 +1,54 @@
+"""Simulated high-speed network substrate.
+
+This package models the *transfer layer* of Figure 1 of the paper:
+
+* :mod:`~repro.network.model` — per-technology transfer cost models
+  (PIO/DMA α+β terms, copy costs, gather/scatter overheads);
+* :mod:`~repro.network.technologies` — calibrated presets for
+  Myrinet/MX, Quadrics/Elan (QsNet), InfiniBand and GigE/TCP;
+* :mod:`~repro.network.wire` — wire packets and segments;
+* :mod:`~repro.network.nic` — the NIC busy/idle state machine whose
+  *idle transition* triggers the optimizer (paper §3);
+* :mod:`~repro.network.virtual` — NIC virtualization: channels /
+  multiplexing units and traffic classes (paper §2);
+* :mod:`~repro.network.fabric` — nodes, networks, and all-to-all
+  connectivity;
+* :mod:`~repro.network.receiver` — receiver-side demultiplexing and
+  control-packet dispatch.
+"""
+
+from repro.network.fabric import Fabric, Network, Node
+from repro.network.model import LinkModel, TransferMode
+from repro.network.nic import NIC, NicStats
+from repro.network.receiver import Receiver
+from repro.network.technologies import (
+    TECHNOLOGIES,
+    gige_tcp,
+    infiniband,
+    myrinet_mx,
+    quadrics_elan,
+)
+from repro.network.virtual import Channel, ChannelPool, TrafficClass
+from repro.network.wire import PacketKind, WirePacket, WireSegment
+
+__all__ = [
+    "Channel",
+    "ChannelPool",
+    "Fabric",
+    "LinkModel",
+    "NIC",
+    "Network",
+    "NicStats",
+    "Node",
+    "PacketKind",
+    "Receiver",
+    "TECHNOLOGIES",
+    "TrafficClass",
+    "TransferMode",
+    "WirePacket",
+    "WireSegment",
+    "gige_tcp",
+    "infiniband",
+    "myrinet_mx",
+    "quadrics_elan",
+]

@@ -1,0 +1,136 @@
+"""Nodes, networks, and the fabric that connects them.
+
+A :class:`Network` is one switched technology instance (e.g. "the
+Myrinet fabric"): every NIC attached to it can reach every node attached
+to it, with the cost model of its :class:`~repro.network.model.LinkModel`
+(all-to-all through a full-crossbar switch — the standard topology of the
+paper-era clusters).  A :class:`Node` owns its NICs, its
+:class:`~repro.network.receiver.Receiver`, and its channel pool.
+Heterogeneous multirail (paper §2: "NICs from multiple technologies") is
+expressed by attaching one node to several networks.
+"""
+
+from __future__ import annotations
+
+from repro.network.model import LinkModel
+from repro.network.nic import NIC
+from repro.network.receiver import Receiver
+from repro.network.virtual import ChannelPool
+from repro.network.wire import WirePacket
+from repro.sim.engine import Simulator
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Node", "Network", "Fabric"]
+
+
+class Node:
+    """One processing node: NICs + receiver + channel pool."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.name = name
+        self.nics: list[NIC] = []
+        self.receiver = Receiver(sim, name)
+        self.channels = ChannelPool()
+
+    def nic(self, name: str) -> NIC:
+        """Look up one of this node's NICs by name."""
+        for nic in self.nics:
+            if nic.name == name:
+                return nic
+        raise ConfigurationError(f"node {self.name!r} has no NIC named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, nics={[n.name for n in self.nics]})"
+
+
+class Network:
+    """One switched network instance with a uniform cost model."""
+
+    def __init__(self, fabric: "Fabric", name: str, link: LinkModel) -> None:
+        self._fabric = fabric
+        self.name = name
+        self.link = link
+        self._members: set[str] = set()
+
+    @property
+    def members(self) -> frozenset[str]:
+        """Names of nodes attached to this network."""
+        return frozenset(self._members)
+
+    def attach(self, node: Node, nic_name: str | None = None) -> NIC:
+        """Create a NIC on ``node`` connected to this network."""
+        if nic_name is None:
+            nic_name = f"{node.name}.{self.name}{sum(1 for n in node.nics if n.link is self.link)}"
+        nic = NIC(
+            self._fabric.sim,
+            name=nic_name,
+            node_name=node.name,
+            link=self.link,
+            deliver=self._route,
+        )
+        nic.network = self
+        node.nics.append(nic)
+        self._members.add(node.name)
+        return nic
+
+    def _route(self, packet: WirePacket, _occupancy: float) -> None:
+        if packet.dst not in self._members:
+            raise ConfigurationError(
+                f"network {self.name!r} cannot reach node {packet.dst!r}"
+            )
+        self._fabric.node(packet.dst).receiver.deliver(packet)
+
+
+class Fabric:
+    """The whole simulated cluster: nodes plus networks."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._nodes: dict[str, Node] = {}
+        self._networks: dict[str, Network] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> Node:
+        """Create a node with a unique name."""
+        if name in self._nodes:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+        node = Node(self.sim, name)
+        self._nodes[name] = node
+        return node
+
+    def add_network(self, name: str, link: LinkModel) -> Network:
+        """Create a network with a unique name."""
+        if name in self._networks:
+            raise ConfigurationError(f"duplicate network name {name!r}")
+        network = Network(self, name, link)
+        self._networks[name] = network
+        return network
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
+
+    def network(self, name: str) -> Network:
+        """Look up a network by name."""
+        try:
+            return self._networks[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown network {name!r}") from None
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All nodes in creation order."""
+        return list(self._nodes.values())
+
+    @property
+    def networks(self) -> list[Network]:
+        """All networks in creation order."""
+        return list(self._networks.values())

@@ -1,0 +1,169 @@
+"""The NIC busy/idle state machine.
+
+This is the synchronization point the paper's whole design revolves
+around (§3): *"the scheduler is not activated each time the application
+submits a new packet, but rather when one of the NICs becomes idle"*.
+Components subscribe to :meth:`NIC.on_idle`; the optimization engine uses
+the callback as its activation trigger, so a backlog naturally
+accumulates while a transfer is in flight.
+
+The model is sender-side: a request occupies the sending NIC for
+``occupancy`` seconds (computed by the driver from the
+:class:`~repro.network.model.LinkModel`), and the packet is delivered to
+the destination node ``one_way`` seconds after the request started.
+Receive-side NIC occupancy is folded into the model's ``rx_overhead``
+(the engine under study only schedules the send side — documented
+simplification, DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.network.model import LinkModel
+from repro.network.wire import WirePacket
+from repro.sim.engine import Simulator
+from repro.util.errors import SimulationError
+
+__all__ = ["NIC", "NicStats"]
+
+
+@dataclass(slots=True)
+class NicStats:
+    """Cumulative counters exposed for utilisation metrics."""
+
+    requests: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    busy_time: float = 0.0
+    host_time: float = 0.0
+    segments: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the NIC spent busy (0 when elapsed=0)."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class NIC:
+    """One network interface attached to a node.
+
+    The NIC accepts exactly one outstanding request; submitting while
+    busy is a scheduler bug and raises :class:`SimulationError`.  When
+    the request's occupancy elapses the NIC (1) hands the packet to the
+    delivery function (the fabric routes it to the destination node) and
+    (2) fires every ``on_idle`` subscriber — in subscription order — at
+    the idle-transition instant.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node_name: str,
+        link: LinkModel,
+        deliver: Callable[[WirePacket, float], None],
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self.node_name = node_name
+        self.link = link
+        self._deliver = deliver
+        self._busy = False
+        self._idle_subscribers: list[Callable[["NIC"], None]] = []
+        self.stats = NicStats()
+        #: Set by Network.attach; None for NICs built outside a fabric.
+        self.network = None
+
+    def reaches(self, node_name: str) -> bool:
+        """Whether this NIC's network connects to ``node_name``.
+
+        NICs created without a fabric (unit tests) are permissive.
+        """
+        if self.network is None:
+            return True
+        return node_name in self.network.members
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when the NIC can accept a request right now."""
+        return not self._busy
+
+    def on_idle(self, callback: Callable[["NIC"], None]) -> None:
+        """Subscribe to idle transitions (the optimizer's trigger)."""
+        self._idle_subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # transfer
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        packet: WirePacket,
+        occupancy: float,
+        one_way: float,
+        host_time: float = 0.0,
+    ) -> None:
+        """Start one request.
+
+        ``occupancy`` — sender-side busy time; ``one_way`` — delay until
+        the packet is delivered to the destination node; ``host_time`` —
+        host CPU time the request consumes (accounting only).  All are
+        computed by the driver so technology-specific policy stays out of
+        the NIC.
+        """
+        if self._busy:
+            raise SimulationError(f"NIC {self.name!r} submit while busy")
+        if occupancy <= 0 or one_way < occupancy:
+            raise SimulationError(
+                f"NIC {self.name!r}: inconsistent timings occupancy={occupancy}, "
+                f"one_way={one_way}"
+            )
+        if packet.src != self.node_name:
+            raise SimulationError(
+                f"NIC {self.name!r} on node {self.node_name!r} asked to send a "
+                f"packet from {packet.src!r}"
+            )
+        self._busy = True
+        self.stats.requests += 1
+        self.stats.payload_bytes += packet.payload_bytes
+        self.stats.wire_bytes += packet.wire_bytes
+        self.stats.busy_time += occupancy
+        self.stats.host_time += host_time
+        self.stats.segments += packet.segment_count
+        kind = packet.kind.value
+        self.stats.kind_counts[kind] = self.stats.kind_counts.get(kind, 0) + 1
+
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._sim.now,
+                f"nic:{self.name}",
+                "nic.send",
+                packet=packet.packet_id,
+                packet_kind=kind,
+                bytes=packet.payload_bytes,
+                segments=packet.segment_count,
+                dst=packet.dst,
+            )
+        self._sim.schedule(one_way, self._deliver, packet, occupancy)
+        self._sim.schedule(occupancy, self._complete)
+
+    def _complete(self) -> None:
+        self._busy = False
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.emit(self._sim.now, f"nic:{self.name}", "nic.idle")
+        for callback in self._idle_subscribers:
+            callback(self)
+            if self._busy:
+                # An earlier subscriber already refilled the NIC; later
+                # subscribers must not see a stale idle notification.
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self.idle else "busy"
+        return f"NIC({self.name!r}, {self.link.name}, {state})"

@@ -1,0 +1,111 @@
+"""Wire-level packet representation.
+
+A :class:`WirePacket` is what one NIC request puts on the wire: one or
+more :class:`WireSegment` payload slices (several when the optimizer
+aggregated packets or split a large message), plus protocol framing.
+The network layer treats segment payloads as opaque — reassembly
+semantics belong to the messaging layer above (:mod:`repro.madeleine`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import ProtocolError
+
+__all__ = ["PacketKind", "WireSegment", "WirePacket", "HEADER_BYTES_PER_SEGMENT", "PACKET_HEADER_BYTES"]
+
+#: Framing bytes per packet (channel id, kind, segment count).
+PACKET_HEADER_BYTES = 16
+#: Framing bytes per segment (payload id, offset, length).
+HEADER_BYTES_PER_SEGMENT = 12
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """Protocol role of a wire packet."""
+
+    EAGER = "eager"  #: data sent inline, possibly aggregated
+    RDV_REQ = "rdv_req"  #: rendezvous request (control)
+    RDV_ACK = "rdv_ack"  #: rendezvous acknowledgement (control)
+    RDV_DATA = "rdv_data"  #: rendezvous bulk data (zero-copy DMA)
+    CTRL = "ctrl"  #: generic control / signalling message
+
+    @property
+    def is_control(self) -> bool:
+        """Whether the packet carries protocol control rather than payload."""
+        return self in (PacketKind.RDV_REQ, PacketKind.RDV_ACK, PacketKind.CTRL)
+
+
+@dataclass(frozen=True, slots=True)
+class WireSegment:
+    """A contiguous slice of one payload carried in a packet.
+
+    ``payload`` is opaque to the network layer; the messaging layer uses
+    it to locate the fragment being (partially) delivered.  ``offset``
+    and ``length`` support splitting one fragment across several packets
+    (multirail striping, rendezvous chunking).
+    """
+
+    payload: Any
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ProtocolError(
+                f"segment with negative offset/length ({self.offset}, {self.length})"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class WirePacket:
+    """One NIC request worth of bytes.
+
+    ``meta`` carries control-protocol fields (rendezvous tokens, source
+    engine hints); it never contributes to the wire size beyond the fixed
+    framing constants.
+    """
+
+    kind: PacketKind
+    src: str
+    dst: str
+    channel_id: int
+    segments: tuple[WireSegment, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind in (PacketKind.EAGER, PacketKind.RDV_DATA) and not self.segments:
+            raise ProtocolError(f"{self.kind.value} packet must carry segments")
+        if self.src == self.dst:
+            raise ProtocolError(f"packet addressed to its own node {self.src!r}")
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total payload bytes (without framing)."""
+        return sum(s.length for s in self.segments)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire, including framing."""
+        return (
+            PACKET_HEADER_BYTES
+            + len(self.segments) * HEADER_BYTES_PER_SEGMENT
+            + self.payload_bytes
+        )
+
+    @property
+    def segment_count(self) -> int:
+        """Number of payload slices aggregated into this packet."""
+        return len(self.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WirePacket(#{self.packet_id} {self.kind.value} {self.src}->{self.dst} "
+            f"ch={self.channel_id} segs={len(self.segments)} bytes={self.payload_bytes})"
+        )

@@ -1,0 +1,205 @@
+"""Declarative cluster assembly.
+
+``Cluster`` wires the full stack of Figure 1 for every node:
+
+* a :class:`~repro.network.fabric.Fabric` with one or more networks
+  (possibly of different technologies — heterogeneous multirail);
+* per node: NICs, drivers (from the registry), a communication engine
+  (optimizing or legacy), a reassembler, and a
+  :class:`~repro.madeleine.api.MadAPI` facade;
+* a shared :class:`~repro.runtime.metrics.MetricsCollector` and seeded
+  RNG registry.
+
+Example
+-------
+::
+
+    cluster = Cluster(n_nodes=2, networks=[("mx", 2), ("elan", 1)],
+                      engine="optimizing", strategy="aggregate")
+    api0 = cluster.api("n0")
+    flow = api0.open_flow("n1")
+    api0.send(flow, 4096)
+    cluster.run_until_idle()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.baseline.legacy import LegacyEngine
+from repro.core.channels import ChannelPolicy, PooledChannels
+from repro.drivers.capabilities import DriverCapabilities
+from repro.core.config import EngineConfig
+from repro.core.engine import CommEngineBase, OptimizingEngine
+from repro.core.strategies.base import Strategy, make_strategy
+from repro.drivers.registry import make_driver
+from repro.madeleine.api import MadAPI
+from repro.madeleine.rx import MessageReassembler
+from repro.network.fabric import Fabric
+from repro.network.technologies import TECHNOLOGIES
+from repro.runtime.metrics import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedSequenceRegistry
+from repro.util.tracing import Tracer
+
+__all__ = ["Cluster"]
+
+#: Engine kind → constructor.
+_ENGINE_KINDS = {"optimizing": OptimizingEngine, "legacy": LegacyEngine}
+
+
+class Cluster:
+    """A fully wired simulated cluster.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes, named ``n0`` … ``n{k-1}``.
+    networks:
+        Sequence of ``(technology, nics_per_node)`` pairs; every node is
+        attached to every network.  Technologies come from
+        :data:`repro.network.technologies.TECHNOLOGIES`.
+    engine:
+        ``"optimizing"`` (the paper's engine) or ``"legacy"`` (the
+        deterministic Madeleine-3 baseline).
+    strategy:
+        Strategy name (from the registry), factory callable, or ``None``
+        for the engine's default.  Ignored by the legacy engine, which
+        is its own strategy.
+    policy:
+        Channel-policy factory (one fresh instance per node); ``None``
+        uses the engine default.
+    config:
+        A shared :class:`~repro.core.config.EngineConfig`.
+    seed:
+        Session seed for all random streams.
+    tracer:
+        Optional tracer shared by every component.
+    driver_caps:
+        Optional per-technology :class:`DriverCapabilities` overrides
+        (e.g. ``{"mx": replace(MX_CAPABILITIES, supports_gather=False)}``)
+        for capability ablations.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        networks: Sequence[tuple[str, int]] = (("mx", 1),),
+        engine: str = "optimizing",
+        strategy: str | Callable[[], Strategy] | None = None,
+        policy: Callable[[], ChannelPolicy] | None = None,
+        config: EngineConfig | None = None,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        driver_caps: dict[str, "DriverCapabilities"] | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ConfigurationError(f"a cluster needs >= 2 nodes, got {n_nodes}")
+        if engine not in _ENGINE_KINDS:
+            raise ConfigurationError(
+                f"engine must be one of {sorted(_ENGINE_KINDS)}, got {engine!r}"
+            )
+        if not networks:
+            raise ConfigurationError("a cluster needs at least one network")
+
+        self.sim = Simulator(tracer)
+        self.rng = SeedSequenceRegistry(seed)
+        self.metrics = MetricsCollector()
+        self.fabric = Fabric(self.sim)
+        self.engine_kind = engine
+        self.engines: dict[str, CommEngineBase] = {}
+        self.reassemblers: dict[str, MessageReassembler] = {}
+        self.apis: dict[str, MadAPI] = {}
+
+        nets = []
+        for i, (tech, nics_per_node) in enumerate(networks):
+            if tech not in TECHNOLOGIES:
+                raise ConfigurationError(
+                    f"unknown technology {tech!r} (known: {sorted(TECHNOLOGIES)})"
+                )
+            if nics_per_node < 1:
+                raise ConfigurationError(
+                    f"nics_per_node must be >= 1, got {nics_per_node}"
+                )
+            nets.append(
+                (self.fabric.add_network(f"{tech}{i}", TECHNOLOGIES[tech]()), nics_per_node)
+            )
+
+        for k in range(n_nodes):
+            node = self.fabric.add_node(f"n{k}")
+            for network, nics_per_node in nets:
+                for _ in range(nics_per_node):
+                    network.attach(node)
+            drivers = []
+            for nic in node.nics:
+                if driver_caps is not None and nic.link.name in driver_caps:
+                    from repro.drivers.registry import DRIVER_TYPES
+
+                    drivers.append(
+                        DRIVER_TYPES[nic.link.name](nic, driver_caps[nic.link.name])
+                    )
+                else:
+                    drivers.append(make_driver(nic))
+
+            kwargs: dict = {"config": config}
+            if engine == "optimizing":
+                kwargs["strategy"] = self._make_strategy(strategy)
+                kwargs["policy"] = policy() if policy is not None else PooledChannels()
+            else:
+                if policy is not None:
+                    kwargs["policy"] = policy()
+            comm_engine = _ENGINE_KINDS[engine](self.sim, node, drivers, **kwargs)
+
+            reassembler = MessageReassembler(self.sim, node.name)
+            node.receiver.register_default_sink(reassembler.sink)
+            self.metrics.attach(reassembler)
+
+            self.engines[node.name] = comm_engine
+            self.reassemblers[node.name] = reassembler
+            self.apis[node.name] = MadAPI(node.name, comm_engine, reassembler)
+
+    @staticmethod
+    def _make_strategy(
+        strategy: str | Callable[[], Strategy] | None,
+    ) -> Strategy | None:
+        if strategy is None:
+            return None
+        if isinstance(strategy, str):
+            return make_strategy(strategy)
+        return strategy()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_names(self) -> list[str]:
+        """Node names in creation order."""
+        return [n.name for n in self.fabric.nodes]
+
+    def api(self, node_name: str) -> MadAPI:
+        """The packing API of one node."""
+        return self.apis[node_name]
+
+    def engine(self, node_name: str) -> CommEngineBase:
+        """The communication engine of one node."""
+        return self.engines[node_name]
+
+    def stream(self, name: str):
+        """A named deterministic RNG stream."""
+        return self.rng.stream(name)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation (see :meth:`repro.sim.Simulator.run`)."""
+        return self.sim.run(until=until)
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> float:
+        """Drain all activity; returns the final virtual time."""
+        return self.sim.run_until_idle(max_events=max_events)
+
+    def report(self, since: float = 0.0):
+        """Session report over messages submitted after ``since``."""
+        return self.metrics.report(self, since=since)

@@ -1,0 +1,204 @@
+"""Message-level metrics and session reports.
+
+A :class:`MetricsCollector` hooks every node's reassembler and records
+one :class:`MessageRecord` per completed message.  At the end of a run,
+:meth:`MetricsCollector.report` combines those records with engine and
+NIC counters into a :class:`SessionReport` — the object every benchmark
+prints its table rows from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.madeleine.message import Message
+from repro.madeleine.rx import MessageReassembler
+from repro.network.virtual import TrafficClass
+from repro.util.stats import Percentiles
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+__all__ = ["MessageRecord", "LatencySummary", "SessionReport", "MetricsCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class MessageRecord:
+    """One completed message."""
+
+    message_id: int
+    flow_name: str
+    traffic_class: TrafficClass
+    src: str
+    dst: str
+    size: int
+    fragments: int
+    submit_time: float
+    complete_time: float
+
+    @property
+    def latency(self) -> float:
+        """Submit-to-full-delivery time (virtual seconds)."""
+        return self.complete_time - self.submit_time
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Latency statistics over a record subset."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, latencies: Iterable[float]) -> "LatencySummary":
+        arr = np.asarray(list(latencies), dtype=float)
+        if arr.size == 0:
+            nan = math.nan
+            return cls(0, nan, nan, nan, nan, nan, nan)
+        p = Percentiles.of(arr)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=p.p50,
+            p90=p.p90,
+            p99=p.p99,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SessionReport:
+    """Aggregated results of one experiment run."""
+
+    duration: float
+    messages: int
+    total_bytes: int
+    latency: LatencySummary
+    latency_by_class: dict[TrafficClass, LatencySummary]
+    throughput: float  #: delivered payload bytes / duration
+    message_rate: float  #: completed messages / duration
+    network_transactions: int  #: total NIC requests, all kinds
+    data_packets: int
+    control_packets: int
+    aggregation_ratio: float  #: mean segments per data packet
+    nic_utilization: float  #: mean busy fraction over all NICs
+    host_time: float  #: total host CPU time consumed by sends (s)
+    rdv_count: int
+
+    def row(self) -> dict[str, float]:
+        """Flat numeric view for table printing."""
+        return {
+            "messages": self.messages,
+            "bytes": self.total_bytes,
+            "mean_lat_us": self.latency.mean * 1e6,
+            "p99_lat_us": self.latency.p99 * 1e6,
+            "tput_MBps": self.throughput / 1e6,
+            "msg_per_s": self.message_rate,
+            "transactions": self.network_transactions,
+            "agg_ratio": self.aggregation_ratio,
+            "nic_util": self.nic_utilization,
+        }
+
+
+class MetricsCollector:
+    """Collects completed-message records across a cluster."""
+
+    def __init__(self) -> None:
+        self.records: list[MessageRecord] = []
+
+    def attach(self, reassembler: MessageReassembler) -> None:
+        """Hook one node's reassembler (call once per node)."""
+        reassembler.on_message_complete = self._on_complete
+
+    def _on_complete(self, message: Message, now: float) -> None:
+        assert message.submit_time is not None
+        self.records.append(
+            MessageRecord(
+                message_id=message.message_id,
+                flow_name=message.flow.name,
+                traffic_class=message.flow.traffic_class,
+                src=message.flow.src,
+                dst=message.flow.dst,
+                size=message.total_size,
+                fragments=len(message.fragments),
+                submit_time=message.submit_time,
+                complete_time=now,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def latencies(
+        self,
+        traffic_class: TrafficClass | None = None,
+        flow_name: str | None = None,
+        since: float = 0.0,
+    ) -> list[float]:
+        """Latency samples, optionally filtered."""
+        return [
+            r.latency
+            for r in self.records
+            if (traffic_class is None or r.traffic_class is traffic_class)
+            and (flow_name is None or r.flow_name == flow_name)
+            and r.submit_time >= since
+        ]
+
+    def report(self, cluster: "Cluster", since: float = 0.0) -> SessionReport:
+        """Build the session report for records submitted after ``since``."""
+        records = [r for r in self.records if r.submit_time >= since]
+        latencies = [r.latency for r in records]
+        total_bytes = sum(r.size for r in records)
+        last_complete = max((r.complete_time for r in records), default=cluster.sim.now)
+        duration = max(last_complete - since, 0.0)
+
+        by_class: dict[TrafficClass, LatencySummary] = {}
+        for traffic_class in TrafficClass:
+            samples = [r.latency for r in records if r.traffic_class is traffic_class]
+            if samples:
+                by_class[traffic_class] = LatencySummary.of(samples)
+
+        transactions = 0
+        busy = 0.0
+        host = 0.0
+        nic_count = 0
+        for node in cluster.fabric.nodes:
+            for nic in node.nics:
+                transactions += nic.stats.requests
+                busy += nic.stats.busy_time
+                host += nic.stats.host_time
+                nic_count += 1
+        data_packets = sum(e.stats.data_packets for e in cluster.engines.values())
+        segments = sum(e.stats.data_segments for e in cluster.engines.values())
+        control = sum(
+            e.stats.dispatches - e.stats.data_packets for e in cluster.engines.values()
+        )
+        rdv = sum(e.stats.rdv_parked for e in cluster.engines.values())
+        elapsed = cluster.sim.now if cluster.sim.now > 0 else 1.0
+
+        return SessionReport(
+            duration=duration,
+            messages=len(records),
+            total_bytes=total_bytes,
+            latency=LatencySummary.of(latencies),
+            latency_by_class=by_class,
+            throughput=total_bytes / duration if duration > 0 else 0.0,
+            message_rate=len(records) / duration if duration > 0 else 0.0,
+            network_transactions=transactions,
+            data_packets=data_packets,
+            control_packets=control,
+            aggregation_ratio=segments / data_packets if data_packets else 0.0,
+            nic_utilization=busy / (nic_count * elapsed) if nic_count else 0.0,
+            host_time=host,
+            rdv_count=rdv,
+        )

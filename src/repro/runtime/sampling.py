@@ -1,0 +1,140 @@
+"""Periodic time-series sampling of a running cluster.
+
+A :class:`PeriodicSampler` snapshots engine backlogs, NIC cumulative
+busy time, and rendezvous state at a fixed virtual-time interval —
+the raw material for time-series views of experiments (when did the
+backlog peak? when did the adaptive policy's promotion pay off?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+__all__ = ["Sample", "PeriodicSampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One snapshot of a cluster's send-side state."""
+
+    time: float
+    backlog: int  #: pending entries across all engines
+    backlog_bytes: int
+    rendezvous_in_flight: int
+    nic_busy_time: float  #: cumulative busy seconds over all NICs
+    messages_completed: int
+
+
+class PeriodicSampler:
+    """Samples a cluster every ``interval`` virtual seconds.
+
+    Start it *before* running the simulation.  It reschedules itself
+    until ``horizon``, or — when no horizon is given — until the event
+    queue is otherwise empty (the simulation has drained), so finite
+    workloads still terminate under ``run_until_idle``.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        interval: float,
+        horizon: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be > 0, got {interval}")
+        if horizon is not None and horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        self._cluster = cluster
+        self.interval = interval
+        self.horizon = horizon
+        self.samples: list[Sample] = []
+        cluster.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        cluster = self._cluster
+        now = cluster.sim.now
+        if self.horizon is not None and now > self.horizon:
+            return
+        backlog = sum(engine.backlog for engine in cluster.engines.values())
+        backlog_bytes = sum(
+            engine.waiting.total_pending_bytes for engine in cluster.engines.values()
+        )
+        rdv = sum(
+            engine.rendezvous_in_flight for engine in cluster.engines.values()
+        )
+        busy = sum(
+            nic.stats.busy_time for node in cluster.fabric.nodes for nic in node.nics
+        )
+        completed = sum(
+            r.messages_completed for r in cluster.reassemblers.values()
+        )
+        sample = Sample(
+            time=now,
+            backlog=backlog,
+            backlog_bytes=backlog_bytes,
+            rendezvous_in_flight=rdv,
+            nic_busy_time=busy,
+            messages_completed=completed,
+        )
+        self.samples.append(sample)
+        if self.horizon is None and cluster.sim.pending_events == 0:
+            # Nothing else scheduled: the simulation has fully drained
+            # (the tick itself was just consumed).  Stop so
+            # run_until_idle terminates.
+            return
+        cluster.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def series(self, field: str) -> np.ndarray:
+        """One sampled field as a numpy array (e.g. ``"backlog"``)."""
+        try:
+            return np.asarray([getattr(s, field) for s in self.samples])
+        except AttributeError:
+            raise ConfigurationError(f"unknown sample field {field!r}") from None
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps."""
+        return self.series("time")
+
+    def peak_backlog(self) -> tuple[float, int]:
+        """(time, value) of the deepest sampled backlog."""
+        if not self.samples:
+            raise ConfigurationError("no samples collected")
+        peak = max(self.samples, key=lambda s: s.backlog)
+        return (peak.time, peak.backlog)
+
+    def utilization_between(self, t0: float, t1: float) -> float:
+        """Approximate mean per-NIC busy fraction between two sample times.
+
+        NIC busy time accrues at submit time, so a request straddling
+        the window boundary is attributed to the window it started in;
+        the result is clamped to [0, 1].
+        """
+        if t1 <= t0:
+            raise ConfigurationError(f"bad window [{t0}, {t1}]")
+        busy = self.series("nic_busy_time")
+        times = self.times
+        i0 = int(np.searchsorted(times, t0))
+        i1 = int(np.searchsorted(times, t1))
+        i1 = min(i1, len(self.samples) - 1)
+        if i0 >= i1:
+            raise ConfigurationError("window contains fewer than two samples")
+        nic_count = sum(
+            len(node.nics) for node in self._cluster.fabric.nodes
+        )
+        delta_busy = busy[i1] - busy[i0]
+        delta_t = times[i1] - times[i0]
+        if nic_count == 0:
+            return 0.0
+        return float(min(delta_busy / (delta_t * nic_count), 1.0))

@@ -1,0 +1,178 @@
+"""Declarative scenarios: dict/JSON in, cluster + workloads + report out.
+
+A scenario is a plain mapping (hand-written, or loaded from a JSON
+file) describing the cluster, the workloads, and the run window::
+
+    {
+      "name": "mixed-middleware",
+      "cluster": {
+        "n_nodes": 2,
+        "networks": [["mx", 1]],
+        "engine": "optimizing",
+        "strategy": "aggregate",
+        "policy": "pooled",
+        "config": {"lookahead_window": 16},
+        "seed": 0
+      },
+      "workloads": [
+        {"app": "pingpong", "src": "n0", "dst": "n1", "count": 50},
+        {"app": "stream", "src": "n0", "dst": "n1", "size": 1024,
+         "count": 100, "traffic_class": "bulk"},
+        {"app": "barrier", "nodes": ["n0", "n1"], "rounds": 5}
+      ],
+      "run": {"until": null, "warmup": 0.0}
+    }
+
+:func:`run_scenario` executes it and returns ``(report, apps)``; the
+``python -m repro run`` CLI wraps this for files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.core.adaptive import AdaptiveChannels
+from repro.core.channels import (
+    ChannelPolicy,
+    OneToOneChannels,
+    PooledChannels,
+    WeightedChannels,
+)
+from repro.core.config import EngineConfig
+from repro.middleware import (
+    AllReduceApp,
+    AppBase,
+    BarrierApp,
+    BroadcastApp,
+    ControlPlaneApp,
+    DsmApp,
+    GlobalArraysApp,
+    HaloExchangeApp,
+    PingPongApp,
+    RpcApp,
+    StreamApp,
+)
+from repro.network.virtual import TrafficClass
+from repro.runtime.cluster import Cluster
+from repro.runtime.metrics import SessionReport
+from repro.runtime.session import run_session
+from repro.util.errors import ConfigurationError
+
+__all__ = ["APP_TYPES", "POLICY_TYPES", "build_scenario", "run_scenario", "load_scenario_file"]
+
+#: Workload app name → (class, endpoint kind: "pair" or "group").
+APP_TYPES: dict[str, tuple[type, str]] = {
+    "pingpong": (PingPongApp, "pair"),
+    "stream": (StreamApp, "pair"),
+    "rpc": (RpcApp, "pair"),
+    "dsm": (DsmApp, "pair"),
+    "global_arrays": (GlobalArraysApp, "pair"),
+    "control": (ControlPlaneApp, "pair"),
+    "broadcast": (BroadcastApp, "group"),
+    "barrier": (BarrierApp, "group"),
+    "allreduce": (AllReduceApp, "group"),
+    "halo": (HaloExchangeApp, "group"),
+}
+
+#: Channel policy name → factory.
+POLICY_TYPES: dict[str, Callable[[], ChannelPolicy]] = {
+    "pooled": lambda: PooledChannels(by_class=True),
+    "shared": lambda: PooledChannels(by_class=False),
+    "one-to-one": OneToOneChannels,
+    "weighted": WeightedChannels,
+    "adaptive": AdaptiveChannels,
+}
+
+
+def _parse_traffic_class(value: Any) -> Any:
+    if isinstance(value, str):
+        try:
+            return TrafficClass(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown traffic class {value!r} "
+                f"(known: {[c.value for c in TrafficClass]})"
+            ) from None
+    return value
+
+
+def _build_app(spec: Mapping[str, Any]) -> AppBase:
+    spec = dict(spec)
+    try:
+        app_name = spec.pop("app")
+    except KeyError:
+        raise ConfigurationError(f"workload entry missing 'app': {spec}") from None
+    try:
+        app_type, endpoint_kind = APP_TYPES[app_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {app_name!r} (known: {sorted(APP_TYPES)})"
+        ) from None
+    if "traffic_class" in spec:
+        spec["traffic_class"] = _parse_traffic_class(spec["traffic_class"])
+    try:
+        if endpoint_kind == "pair":
+            src = spec.pop("src")
+            dst = spec.pop("dst")
+            return app_type(src, dst, **spec)
+        nodes = spec.pop("nodes")
+        return app_type(nodes, **spec)
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"app {app_name!r} missing endpoint key {missing}"
+        ) from None
+    except TypeError as bad:
+        raise ConfigurationError(f"app {app_name!r}: {bad}") from None
+
+
+def build_scenario(scenario: Mapping[str, Any]) -> tuple[Cluster, list[AppBase]]:
+    """Build the cluster and (uninstalled) workload apps of a scenario."""
+    cluster_spec = dict(scenario.get("cluster", {}))
+    policy_name = cluster_spec.pop("policy", None)
+    if policy_name is not None:
+        try:
+            cluster_spec["policy"] = POLICY_TYPES[policy_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown policy {policy_name!r} (known: {sorted(POLICY_TYPES)})"
+            ) from None
+    config_spec = cluster_spec.pop("config", None)
+    if config_spec is not None:
+        try:
+            cluster_spec["config"] = EngineConfig(**config_spec)
+        except TypeError as bad:
+            raise ConfigurationError(f"engine config: {bad}") from None
+    networks = cluster_spec.get("networks")
+    if networks is not None:
+        cluster_spec["networks"] = [tuple(net) for net in networks]
+    cluster = Cluster(**cluster_spec)
+    apps = [_build_app(entry) for entry in scenario.get("workloads", [])]
+    if not apps:
+        raise ConfigurationError("scenario has no workloads")
+    return cluster, apps
+
+
+def run_scenario(
+    scenario: Mapping[str, Any],
+) -> tuple[SessionReport, Cluster, list[AppBase]]:
+    """Build and execute a scenario; returns (report, cluster, apps)."""
+    cluster, apps = build_scenario(scenario)
+    run_spec = scenario.get("run", {})
+    report = run_session(
+        cluster,
+        [app.install for app in apps],
+        until=run_spec.get("until"),
+        warmup=run_spec.get("warmup", 0.0),
+    )
+    return report, cluster, apps
+
+
+def load_scenario_file(path: str | Path) -> dict:
+    """Load a scenario mapping from a JSON file."""
+    text = Path(path).read_text(encoding="utf-8")
+    scenario = json.loads(text)
+    if not isinstance(scenario, dict):
+        raise ConfigurationError(f"scenario file {path} must contain a JSON object")
+    return scenario

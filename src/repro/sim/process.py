@@ -1,0 +1,135 @@
+"""Generator-based cooperative processes.
+
+Closed-loop workloads (a ping-pong benchmark, an RPC client that waits
+for each response) read much more naturally as sequential code than as
+callback chains.  A :class:`Process` drives a generator; the generator
+``yield``\\ s either
+
+* a ``float``/``int`` — sleep that many virtual seconds, or
+* a :class:`Future` — suspend until it resolves; ``yield`` evaluates to
+  the future's value.
+
+Example
+-------
+::
+
+    def pingpong(api, peer):
+        for _ in range(1000):
+            done = api.send(peer, size=8)
+            yield done            # wait for completion
+            yield 1e-6            # think time
+    Process(sim, pingpong(api, peer))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.engine import Simulator
+from repro.util.errors import SimulationError
+
+__all__ = ["Future", "Process", "all_of"]
+
+
+class Future:
+    """A one-shot value that callbacks (and processes) can wait on."""
+
+    __slots__ = ("_done", "_value", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`resolve` has been called."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The resolved value; raises if not yet resolved."""
+        if not self._done:
+            raise SimulationError("Future not resolved yet")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve exactly once and fire callbacks in registration order."""
+        if self._done:
+            raise SimulationError("Future already resolved")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        """Run ``cb(value)`` on resolution (immediately if already done)."""
+        if self._done:
+            cb(self._value)
+        else:
+            self._callbacks.append(cb)
+
+
+def all_of(futures: Iterable[Future]) -> Future:
+    """A future that resolves (with ``None``) once every input resolves."""
+    futures = list(futures)
+    combined = Future()
+    remaining = len(futures)
+    if remaining == 0:
+        combined.resolve(None)
+        return combined
+
+    def _one_done(_value: Any) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            combined.resolve(None)
+
+    for f in futures:
+        f.add_callback(_one_done)
+    return combined
+
+
+class Process:
+    """Drives a generator as a cooperative simulated process.
+
+    The process starts at the current simulation time (its first segment
+    runs via a zero-delay event, preserving deterministic ordering with
+    other same-time activity).  ``finished`` resolves with the
+    generator's return value; an exception inside the generator
+    propagates out of the event loop — failures are loud, not silent.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "process") -> None:
+        self._sim = sim
+        self._gen = generator
+        self.name = name
+        self.finished = Future()
+        sim.schedule(0.0, self._advance, None)
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished.resolve(stop.value)
+            return
+        if isinstance(yielded, Future):
+            yielded.add_callback(self._resume_with)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay {yielded}"
+                )
+            self._sim.schedule(float(yielded), self._advance, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}; "
+                "yield a delay (float) or a Future"
+            )
+
+    def _resume_with(self, value: Any) -> None:
+        # Resume via a zero-delay event rather than synchronously, so a
+        # future resolved in the middle of another component's handler
+        # does not re-enter that component.
+        self._sim.schedule(0.0, self._advance, value)

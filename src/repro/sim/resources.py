@@ -1,0 +1,94 @@
+"""Classic queueing primitives on top of the event kernel.
+
+:class:`Resource` models a counted resource with FIFO admission — we use
+it for host-CPU contention (PIO transfers burn host cycles; DMA does
+not).  :class:`Store` is an unbounded producer/consumer mailbox used for
+receiver-side hand-off to middleware processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Future
+from repro.util.errors import SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    ``acquire()`` returns a :class:`Future` that resolves when a unit is
+    granted; the holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Future] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending acquire requests."""
+        return len(self._waiters)
+
+    def acquire(self) -> Future:
+        """Request one unit; the returned future resolves on grant."""
+        grant = Future()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.resolve(None)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit directly to the next waiter; in_use unchanged.
+            self._waiters.popleft().resolve(None)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO mailbox bridging event-style producers and processes."""
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self._sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Future] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit one item, waking the oldest blocked ``get`` if any."""
+        if self._getters:
+            self._getters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Future:
+        """Take the oldest item; resolves immediately if one is queued."""
+        fut = Future()
+        if self._items:
+            fut.resolve(self._items.popleft())
+        else:
+            self._getters.append(fut)
+        return fut
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,61 @@
+"""Shared utilities: units, errors, seeded RNG streams, statistics, tracing.
+
+These helpers are deliberately dependency-light; everything above the
+simulation kernel (:mod:`repro.sim`) builds on them.
+"""
+
+from repro.util.errors import (
+    CapabilityError,
+    ConfigurationError,
+    ConstraintViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.util.rng import RngStream, SeedSequenceRegistry
+from repro.util.stats import OnlineStats, Percentiles, summarize
+from repro.util.tracing import NullTracer, Tracer, TraceEvent, TraceRecorder
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_rate,
+    format_size,
+    format_time,
+    gbit_per_s,
+    mb_per_s,
+    ms,
+    ns,
+    parse_size,
+    us,
+)
+
+__all__ = [
+    "CapabilityError",
+    "ConfigurationError",
+    "ConstraintViolation",
+    "GiB",
+    "KiB",
+    "MiB",
+    "NullTracer",
+    "OnlineStats",
+    "Percentiles",
+    "ProtocolError",
+    "ReproError",
+    "RngStream",
+    "SeedSequenceRegistry",
+    "SimulationError",
+    "TraceEvent",
+    "TraceRecorder",
+    "Tracer",
+    "format_rate",
+    "format_size",
+    "format_time",
+    "gbit_per_s",
+    "mb_per_s",
+    "ms",
+    "ns",
+    "parse_size",
+    "summarize",
+    "us",
+]

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch everything this package raises with a single ``except`` clause
+while still letting genuine programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ConstraintViolation",
+    "CapabilityError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, driver, or engine was configured inconsistently.
+
+    Examples: a negative link bandwidth, a lookahead window of zero, a
+    traffic class mapped to a channel that does not exist.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel detected an impossible state.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already stopped, a NIC completing a transfer it never started.
+    """
+
+
+class ConstraintViolation(ReproError):
+    """An optimization would (or did) break a message-ordering constraint.
+
+    The optimizer treats the structured-message dependencies expressed
+    through the packing API as hard constraints (paper §3); strategies
+    raise or receive this error when a candidate plan violates them.
+    """
+
+
+class CapabilityError(ReproError):
+    """A transfer plan exceeds the capabilities of the target driver.
+
+    Examples: more gather entries than ``max_gather_entries``, an
+    aggregated packet larger than ``max_aggregate_size``, requesting DMA
+    on a PIO-only device.
+    """
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol invariant was violated (duplicate delivery,
+    unmatched rendezvous acknowledgement, unpack without matching pack).
+    """

@@ -1,0 +1,138 @@
+"""Timeline reconstruction from trace events.
+
+Turns a :class:`~repro.util.tracing.TraceRecorder` into per-component
+busy intervals (NIC send → idle pairs) and renders them as an ASCII
+Gantt chart — the executable counterpart of Figure 1's "keep the NICs
+adequately busy" claim, and a handy debugging view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.tracing import TraceRecorder
+from repro.util.units import format_time
+
+__all__ = ["Interval", "Timeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """One busy interval on a component's lane."""
+
+    start: float
+    end: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"interval ends ({self.end}) before it starts ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Per-lane busy intervals over a common time axis."""
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, list[Interval]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, lane: str, interval: Interval) -> None:
+        """Append one interval to a lane (append order = time order)."""
+        intervals = self._lanes.setdefault(lane, [])
+        if intervals and interval.start < intervals[-1].end - 1e-12:
+            raise ConfigurationError(
+                f"overlapping interval on lane {lane!r}: "
+                f"{interval.start} < {intervals[-1].end}"
+            )
+        intervals.append(interval)
+
+    @classmethod
+    def from_trace(cls, recorder: TraceRecorder) -> "Timeline":
+        """Reconstruct NIC busy intervals from ``nic.send``/``nic.idle``.
+
+        Each ``nic.send`` opens an interval on its source lane, closed
+        by the next ``nic.idle`` from the same source; an interval still
+        open at the end of the trace is closed at the last event time.
+        """
+        timeline = cls()
+        open_since: dict[str, tuple[float, str]] = {}
+        last_time = recorder.events[-1].time if recorder.events else 0.0
+        for event in recorder.events:
+            if event.kind == "nic.send":
+                open_since[event.source] = (
+                    event.time,
+                    str(event.detail.get("packet_kind", "send")),
+                )
+            elif event.kind == "nic.idle" and event.source in open_since:
+                start, label = open_since.pop(event.source)
+                timeline.add(event.source, Interval(start, event.time, label))
+        for source, (start, label) in open_since.items():
+            timeline.add(source, Interval(start, last_time, label))
+        return timeline
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> list[str]:
+        """Lane names in first-appearance order."""
+        return list(self._lanes)
+
+    def intervals(self, lane: str) -> list[Interval]:
+        """The intervals of one lane (empty list for unknown lanes)."""
+        return list(self._lanes.get(lane, []))
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all lanes; (0, 0) if empty."""
+        starts = [iv.start for ivs in self._lanes.values() for iv in ivs]
+        ends = [iv.end for ivs in self._lanes.values() for iv in ivs]
+        if not starts:
+            return (0.0, 0.0)
+        return (min(starts), max(ends))
+
+    def busy_fraction(self, lane: str) -> float:
+        """Busy time of a lane divided by the full timeline span."""
+        start, end = self.span
+        total = end - start
+        if total <= 0:
+            return 0.0
+        return sum(iv.duration for iv in self._lanes.get(lane, [])) / total
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt: one row per lane, ``#`` where the lane is busy."""
+        if width < 10:
+            raise ConfigurationError(f"width must be >= 10, got {width}")
+        start, end = self.span
+        total = end - start
+        if total <= 0:
+            return "(empty timeline)"
+        name_width = max((len(name) for name in self._lanes), default=4)
+        lines = []
+        for lane, intervals in self._lanes.items():
+            cells = [" "] * width
+            for interval in intervals:
+                first = int((interval.start - start) / total * (width - 1))
+                last = int((interval.end - start) / total * (width - 1))
+                for i in range(first, last + 1):
+                    cells[i] = "#"
+            busy = self.busy_fraction(lane)
+            lines.append(f"{lane:<{name_width}} |{''.join(cells)}| {busy:5.1%}")
+        axis = (
+            f"{'':<{name_width}}  {format_time(start)}"
+            f"{'':>{max(width - 24, 1)}}{format_time(end)}"
+        )
+        lines.append(axis)
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Lightweight structured tracing for simulated components.
+
+A :class:`Tracer` receives ``(time, source, kind, detail)`` tuples.  The
+default :class:`NullTracer` discards them at near-zero cost; tests and
+the E1 architecture benchmark install a :class:`TraceRecorder` to assert
+on the *sequence* of layer interactions (collect → optimize → transfer),
+which is how we validate Figure 1 executably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "TraceRecorder"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One trace record.
+
+    ``source`` identifies the emitting component (``"nic:myri0"``,
+    ``"optimizer:node1"``); ``kind`` is a stable machine-matchable tag
+    (``"nic.idle"``, ``"strategy.aggregate"``); ``detail`` carries
+    kind-specific fields.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Base tracer interface; also usable directly as a callback fan-out."""
+
+    def __init__(self) -> None:
+        self._sinks: list[Callable[[TraceEvent], None]] = []
+
+    def subscribe(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Register a callable invoked for every future event."""
+        self._sinks.append(sink)
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        """Record one event and fan it out to subscribers."""
+        event = TraceEvent(time, source, kind, detail)
+        self.record(event)
+        for sink in self._sinks:
+            sink(event)
+
+    def record(self, event: TraceEvent) -> None:
+        """Store the event. Subclasses override; the base stores nothing."""
+
+    @property
+    def enabled(self) -> bool:
+        """Whether emitting is worthwhile (lets hot paths skip formatting)."""
+        return bool(self._sinks)
+
+
+class NullTracer(Tracer):
+    """Discards everything; the default for production runs."""
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        if self._sinks:
+            super().emit(time, source, kind, **detail)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sinks)
+
+
+class TraceRecorder(Tracer):
+    """Keeps every event in memory for post-run inspection.
+
+    Use :meth:`to_jsonl` to export for external timeline tools.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All recorded events with exactly this kind tag."""
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> Iterator[str]:
+        """Kind tags in emission order (with repeats)."""
+        return (e.kind for e in self.events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def to_jsonl(self) -> str:
+        """Serialize events as JSON Lines (one event object per line)."""
+        import json
+
+        return "\n".join(
+            json.dumps(
+                {
+                    "time": e.time,
+                    "source": e.source,
+                    "kind": e.kind,
+                    **{k: _jsonable(v) for k, v in e.detail.items()},
+                }
+            )
+            for e in self.events
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion for trace detail values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,151 @@
+"""Tests for the deterministic Madeleine-3 baseline engine."""
+
+import pytest
+
+from repro.baseline.legacy import LegacyEngine
+from repro.runtime.cluster import Cluster
+from repro.util.units import KiB
+
+
+def legacy_cluster(**kwargs):
+    kwargs.setdefault("n_nodes", 2)
+    kwargs["engine"] = "legacy"
+    return Cluster(**kwargs)
+
+
+class TestBasicOperation:
+    def test_messages_delivered(self):
+        c = legacy_cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        msgs = [api.send(flow, 128) for _ in range(10)]
+        c.run_until_idle()
+        assert all(m.completion.done for m in msgs)
+
+    def test_engine_type(self):
+        c = legacy_cluster()
+        assert isinstance(c.engine("n0"), LegacyEngine)
+
+    def test_rendezvous_completes(self):
+        c = legacy_cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        big = api.send(flow, 512 * KiB)
+        c.run_until_idle()
+        assert big.completion.done
+        assert c.engine("n0").stats.rdv_parked == 1
+
+
+class TestDeterministicLimitations:
+    def test_no_cross_flow_aggregation(self):
+        """Fragments of different flows never share a packet."""
+        c = legacy_cluster()
+        api = c.api("n0")
+        flows = [api.open_flow("n1") for _ in range(6)]
+        for f in flows:
+            for _ in range(10):
+                api.send(f, 64, header_size=16)
+        c.run_until_idle()
+        # Each message = header + payload of the SAME message: ratio <= 2.
+        assert c.engine("n0").stats.aggregation_ratio <= 2.0 + 1e-9
+
+    def test_within_message_aggregation_works(self):
+        """The mad3 behaviour: one flush's fragments ride one packet."""
+        c = legacy_cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        session = api.begin(flow)
+        for _ in range(4):
+            session.pack(64)
+        m = session.flush()
+        c.run_until_idle()
+        assert m.completion.done
+        stats = c.engine("n0").stats
+        assert stats.data_packets == 1
+        assert stats.data_segments == 4
+
+    def test_rendezvous_blocks_its_channel(self):
+        """HOL blocking: traffic on the same flow waits for the rdv."""
+        c = legacy_cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        big = api.send(flow, 512 * KiB, header_size=0)
+        small = api.send(flow, 64, header_size=0)
+        c.run_until_idle()
+        assert small.completion.value > big.completion.value * 0.9
+
+    def test_optimizer_does_not_block(self):
+        """Contrast: the optimizing engine lets the small message pass."""
+        c = Cluster(engine="optimizing")
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        big = api.send(flow, 512 * KiB, header_size=0)
+        small = api.send(flow, 64, header_size=0)
+        c.run_until_idle()
+        assert small.completion.value < big.completion.value / 2
+
+    def test_one_to_one_channels(self):
+        c = legacy_cluster()
+        api = c.api("n0")
+        f1, f2 = api.open_flow("n1"), api.open_flow("n1")
+        api.send(f1, 64)
+        api.send(f2, 64)
+        c.run_until_idle()
+        node = c.fabric.node("n0")
+        assert len(node.channels) >= 2  # one channel per flow
+
+    def test_static_rail_binding_default(self):
+        c = legacy_cluster()
+        assert c.engine("n0").config.rail_binding == "static"
+        assert c.engine("n0").config.stripe_chunk is None
+
+
+class TestStalledChannelLiveness:
+    def test_protocol_entries_beyond_window_still_flow(self):
+        """Regression: a stalled legacy channel with more than
+        ``lookahead_window`` data entries queued ahead of the protocol
+        traffic must still complete its rendezvous (the protocol-only
+        scan ignores the window)."""
+        from repro.core.config import EngineConfig
+
+        c = legacy_cluster(
+            config=EngineConfig(
+                lookahead_window=4, rail_binding="static", stripe_chunk=None
+            )
+        )
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        back = api1.open_flow("n0")
+        big = api0.send(flow, 512 * KiB, header_size=0)  # stalls the channel
+        # Bury the reverse direction's protocol traffic behind data:
+        # n1's ACK shares channel 0 with n1's own data flow.
+        backlog = [api1.send(back, 1 * KiB) for _ in range(30)]
+        c.run_until_idle()
+        assert big.completion.done
+        assert all(m.completion.done for m in backlog)
+        assert c.engine("n0").rendezvous_in_flight == 0
+
+
+class TestHeadToHead:
+    """The qualitative comparison the paper's §4 claims rest on."""
+
+    @staticmethod
+    def run_multiflow(engine):
+        c = Cluster(engine=engine, seed=7)
+        api = c.api("n0")
+        flows = [api.open_flow("n1") for _ in range(8)]
+        for f in flows:
+            for _ in range(20):
+                api.send(f, 256)
+        c.run_until_idle()
+        return c.report()
+
+    def test_optimizer_beats_legacy_on_transactions(self):
+        legacy = self.run_multiflow("legacy")
+        optimized = self.run_multiflow("optimizing")
+        assert optimized.network_transactions < legacy.network_transactions / 2
+
+    def test_optimizer_beats_legacy_on_throughput(self):
+        legacy = self.run_multiflow("legacy")
+        optimized = self.run_multiflow("optimizing")
+        assert optimized.throughput > 1.2 * legacy.throughput

@@ -1,0 +1,24 @@
+"""Every experiment must run in quick mode and keep its declared shape.
+
+(The full-axis runs live in ``benchmarks/``; this keeps the experiment
+code itself under ordinary test coverage.)
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("experiment_id", list(ALL_EXPERIMENTS))
+def test_quick_mode_runs(experiment_id, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    result = ALL_EXPERIMENTS[experiment_id](quick=True)
+    assert result.experiment_id == experiment_id
+    assert result.rows, "every experiment must produce rows"
+    assert set(result.rows[0]) == set(result.columns)
+    rendered = result.render()
+    assert experiment_id in rendered
+
+
+def test_registry_complete():
+    assert list(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 12)]

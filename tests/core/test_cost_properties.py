@@ -1,0 +1,90 @@
+"""Property tests for the cost model: monotonicity and positivity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel
+from repro.core.plan import PlanItem, TransferPlan
+from repro.madeleine.message import Flow
+from repro.network.wire import PacketKind
+from repro.sim import Simulator
+from repro.util.units import KiB
+
+from tests.core.helpers import data_entry, make_driver
+
+
+def plan_of_sizes(driver, sizes, submit_time=0.0):
+    flow = Flow("f", "n0", "n1")
+    items = [PlanItem(data_entry(flow, s, submit_time=submit_time), s) for s in sizes]
+    return TransferPlan(driver, PacketKind.EAGER, "n1", 0, items)
+
+
+sizes_strategy = st.lists(
+    st.integers(min_value=1, max_value=4 * KiB), min_size=1, max_size=12
+)
+
+
+class TestCostProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_occupancy_positive(self, sizes):
+        driver, _ = make_driver(Simulator())
+        plan = plan_of_sizes(driver, sizes)
+        assert CostModel().occupancy(plan) > 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_score_positive(self, sizes):
+        driver, _ = make_driver(Simulator())
+        plan = plan_of_sizes(driver, sizes)
+        assert CostModel().score(plan, now=0.0) > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=sizes_strategy,
+        extra=st.integers(min_value=1, max_value=4 * KiB),
+    )
+    def test_occupancy_monotone_in_payload(self, sizes, extra):
+        """Adding a segment never makes the packet cheaper to send."""
+        driver, _ = make_driver(Simulator())
+        small = plan_of_sizes(driver, sizes)
+        large = plan_of_sizes(driver, sizes + [extra])
+        model = CostModel()
+        assert model.occupancy(large) > model.occupancy(small)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=sizes_strategy,
+        dt=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+    )
+    def test_score_nondecreasing_in_staleness(self, sizes, dt):
+        driver, _ = make_driver(Simulator())
+        plan = plan_of_sizes(driver, sizes, submit_time=0.0)
+        model = CostModel()
+        assert model.score(plan, now=dt) >= model.score(plan, now=0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_staleness_boost_bounded(self, sizes):
+        """A stale plan scores at most 2x its fresh self."""
+        driver, _ = make_driver(Simulator())
+        plan = plan_of_sizes(driver, sizes, submit_time=0.0)
+        model = CostModel()
+        fresh = model.score(plan, now=0.0)
+        ancient = model.score(plan, now=1e6)
+        assert ancient <= 2.0 * fresh + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        size=st.integers(min_value=32, max_value=2 * KiB),
+    )
+    def test_aggregate_beats_singles(self, n, size):
+        """One n-segment packet always out-scores its single pieces —
+        the property the search strategy's correctness rides on."""
+        driver, _ = make_driver(Simulator())
+        model = CostModel()
+        aggregate = model.score(plan_of_sizes(driver, [size] * n), now=0.0)
+        single = model.score(plan_of_sizes(driver, [size]), now=0.0)
+        assert aggregate > single

@@ -1,0 +1,133 @@
+"""Tests for posted-receive-gated rendezvous (EngineConfig.rdv_requires_recv).
+
+The flow-controlled Madeleine semantics: a sender's rendezvous request
+is only acknowledged once the receiving application has posted a
+matching receive, so bulk data never lands before the receiver has
+somewhere to put it.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.runtime.cluster import Cluster
+from repro.util.errors import ConfigurationError
+from repro.util.units import KiB
+
+
+def gated_cluster(**kwargs):
+    kwargs.setdefault("config", EngineConfig(rdv_requires_recv=True))
+    return Cluster(**kwargs)
+
+
+class TestGating:
+    def test_bulk_stalls_without_posted_receive(self):
+        c = gated_cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        big = api.send(flow, 256 * KiB, header_size=0)
+        c.run_until_idle()
+        assert not big.completion.done
+        assert c.engine("n1").deferred_rendezvous == 1
+
+    def test_posting_releases_the_bulk(self):
+        c = gated_cluster()
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        big = api0.send(flow, 256 * KiB, header_size=0)
+        c.run_until_idle()
+        assert not big.completion.done
+        api1.post_receive(flow)
+        c.run_until_idle()
+        assert big.completion.done
+        assert c.engine("n1").deferred_rendezvous == 0
+
+    def test_pre_posted_credit_avoids_stall(self):
+        c = gated_cluster()
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        api1.post_receive(flow)
+        big = api0.send(flow, 256 * KiB, header_size=0)
+        c.run_until_idle()
+        assert big.completion.done
+
+    def test_eager_traffic_needs_no_credits(self):
+        c = gated_cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        msgs = [api.send(flow, 1 * KiB) for _ in range(5)]
+        c.run_until_idle()
+        assert all(m.completion.done for m in msgs)
+
+    def test_one_credit_per_message(self):
+        c = gated_cluster()
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        first = api0.send(flow, 128 * KiB, header_size=0)
+        second = api0.send(flow, 128 * KiB, header_size=0)
+        c.run_until_idle()
+        api1.post_receive(flow)
+        c.run_until_idle()
+        assert first.completion.done
+        assert not second.completion.done
+        api1.post_receive(flow)
+        c.run_until_idle()
+        assert second.completion.done
+
+    def test_multi_fragment_message_consumes_one_credit(self):
+        """Two oversized fragments of ONE message ride one credit."""
+        c = gated_cluster()
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        session = api0.begin(flow)
+        session.pack(100 * KiB)
+        session.pack(100 * KiB)
+        message = session.flush()
+        c.run_until_idle()
+        assert not message.completion.done
+        api1.post_receive(flow, count=1)
+        c.run_until_idle()
+        assert message.completion.done
+
+    def test_banked_credits(self):
+        c = gated_cluster()
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        api1.post_receive(flow, count=3)
+        msgs = [api0.send(flow, 64 * KiB, header_size=0) for _ in range(3)]
+        c.run_until_idle()
+        assert all(m.completion.done for m in msgs)
+
+    def test_default_config_needs_no_credits(self):
+        c = Cluster()
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        big = api.send(flow, 256 * KiB)
+        c.run_until_idle()
+        assert big.completion.done
+
+    def test_works_with_legacy_engine(self):
+        c = gated_cluster(engine="legacy")
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        big = api0.send(flow, 256 * KiB, header_size=0)
+        c.run_until_idle()
+        assert not big.completion.done
+        api1.post_receive(flow)
+        c.run_until_idle()
+        assert big.completion.done
+
+
+class TestValidation:
+    def test_post_receive_wrong_direction(self):
+        c = gated_cluster()
+        api0 = c.api("n0")
+        flow = api0.open_flow("n1")
+        with pytest.raises(ConfigurationError):
+            api0.post_receive(flow)  # outgoing flow, not incoming
+
+    def test_post_receive_bad_count(self):
+        c = gated_cluster()
+        api0, api1 = c.api("n0"), c.api("n1")
+        flow = api0.open_flow("n1")
+        with pytest.raises(ConfigurationError):
+            api1.post_receive(flow, count=0)

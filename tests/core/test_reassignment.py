@@ -1,0 +1,115 @@
+"""Tests for engine-level dynamic class reassignment and host accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro.drivers.mx import MX_CAPABILITIES
+from repro.network.virtual import TrafficClass
+from repro.runtime import Cluster, run_session
+from repro.util.units import KiB
+
+
+class TestReassignClass:
+    def test_moves_pending_entries(self):
+        c = Cluster(seed=0)
+        api = c.api("n0")
+        engine = c.engine("n0")
+        bulk_flow = api.open_flow("n1", traffic_class=TrafficClass.BULK)
+        # Occupy the NIC, then queue bulk entries.
+        api.send(bulk_flow, 4 * KiB)
+        pending_before = [api.send(bulk_flow, 1 * KiB) for _ in range(5)]
+        assert engine.backlog > 0
+        pool = c.fabric.node("n0").channels
+        fresh = pool.create("migration-target")
+        moved = engine.reassign_class(TrafficClass.BULK, fresh.channel_id)
+        assert moved == 10  # 5 messages x (header + payload)
+        assert len(engine.waiting.queue(fresh.channel_id)) == 10
+        c.run_until_idle()
+        assert all(m.completion.done for m in pending_before)
+
+    def test_preserves_flow_order(self):
+        c = Cluster(seed=0)
+        api = c.api("n0")
+        engine = c.engine("n0")
+        flow = api.open_flow("n1", traffic_class=TrafficClass.BULK)
+        api.send(flow, 4 * KiB)  # occupy NIC
+        msgs = [api.send(flow, 512, header_size=0) for _ in range(6)]
+        pool = c.fabric.node("n0").channels
+        fresh = pool.create("target")
+        engine.reassign_class(TrafficClass.BULK, fresh.channel_id)
+        queued = engine.waiting.queue(fresh.channel_id).pending()
+        ids = [e.message.message_id for e in queued]
+        assert ids == sorted(ids)
+        c.run_until_idle()
+        completions = [m.completion.value for m in msgs]
+        assert completions == sorted(completions)
+
+    def test_noop_when_nothing_matches(self):
+        c = Cluster(seed=0)
+        engine = c.engine("n0")
+        pool = c.fabric.node("n0").channels
+        fresh = pool.create("target")
+        assert engine.reassign_class(TrafficClass.PUTGET, fresh.channel_id) == 0
+
+
+class TestHostAccounting:
+    def test_pio_costs_more_host_time_than_dma(self):
+        from repro.network.model import TransferMode
+        from repro.network.technologies import myrinet_mx
+
+        link = myrinet_mx()
+        pio = link.host_occupancy(2048, TransferMode.PIO)
+        dma = link.host_occupancy(2048, TransferMode.DMA)
+        assert pio > 10 * dma
+
+    def test_copy_adds_host_time(self):
+        from repro.network.model import TransferMode
+        from repro.network.technologies import myrinet_mx
+
+        link = myrinet_mx()
+        plain = link.host_occupancy(8192, TransferMode.DMA)
+        copied = link.host_occupancy(8192, TransferMode.DMA, copied_bytes=8192)
+        assert copied > plain
+
+    def test_report_exposes_host_time(self):
+        c = Cluster(seed=0)
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        for _ in range(10):
+            api.send(flow, 1 * KiB)
+        c.run_until_idle()
+        report = c.report()
+        assert report.host_time > 0
+
+    def test_gatherless_caps_cost_more_host_time(self):
+        def host_ms(caps):
+            c = Cluster(seed=1, driver_caps={"mx": caps} if caps else None)
+            api = c.api("n0")
+            flows = [api.open_flow("n1") for _ in range(4)]
+            for f in flows:
+                for _ in range(20):
+                    api.send(f, 2 * KiB)
+            c.run_until_idle()
+            return c.report().host_time
+
+        gatherless = dataclasses.replace(
+            MX_CAPABILITIES, supports_gather=False, max_gather_entries=1
+        )
+        assert host_ms(gatherless) > host_ms(None)
+
+
+class TestDriverCapsOverride:
+    def test_override_applied(self):
+        caps = dataclasses.replace(MX_CAPABILITIES, eager_threshold=1 * KiB)
+        c = Cluster(driver_caps={"mx": caps})
+        assert c.engine("n0").drivers[0].caps.eager_threshold == 1 * KiB
+
+    def test_override_changes_protocol(self):
+        caps = dataclasses.replace(MX_CAPABILITIES, eager_threshold=1 * KiB)
+        c = Cluster(driver_caps={"mx": caps})
+        api = c.api("n0")
+        flow = api.open_flow("n1")
+        api.send(flow, 8 * KiB, header_size=0)  # rdv under the override
+        c.run_until_idle()
+        assert c.engine("n0").stats.rdv_parked == 1

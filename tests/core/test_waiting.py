@@ -1,0 +1,118 @@
+"""Tests for waiting packet lists."""
+
+import pytest
+
+from repro.core.waiting import ChannelQueue, WaitingLists
+from repro.madeleine.message import Flow
+from repro.madeleine.submit import EntryState
+from repro.util.errors import ConfigurationError
+
+from tests.core.helpers import data_entry
+
+
+@pytest.fixture
+def flow():
+    return Flow("f", "n0", "n1")
+
+
+class TestChannelQueue:
+    def test_arrival_order(self, flow):
+        q = ChannelQueue(0)
+        entries = [data_entry(flow, 10) for _ in range(3)]
+        for e in entries:
+            q.append(e)
+        assert q.pending() == entries
+
+    def test_window_limits_view(self, flow):
+        q = ChannelQueue(0)
+        entries = [data_entry(flow, 10) for _ in range(5)]
+        for e in entries:
+            q.append(e)
+        assert q.pending(window=2) == entries[:2]
+
+    def test_sent_entries_invisible(self, flow):
+        q = ChannelQueue(0)
+        a, b = data_entry(flow, 10), data_entry(flow, 10)
+        q.append(a)
+        q.append(b)
+        a.consume(10)  # SENT
+        assert q.pending() == [b]
+        assert len(q) == 1
+
+    def test_rdv_ready_visible(self, flow):
+        q = ChannelQueue(0)
+        e = data_entry(flow, 10)
+        q.append(e)
+        e.state = EntryState.RDV_READY
+        assert q.pending() == [e]
+
+    def test_rdv_pending_invisible(self, flow):
+        q = ChannelQueue(0)
+        e = data_entry(flow, 10)
+        q.append(e)
+        e.state = EntryState.RDV_PENDING
+        assert q.pending() == []
+        assert not q
+
+    def test_remove(self, flow):
+        q = ChannelQueue(0)
+        e = data_entry(flow, 10)
+        q.append(e)
+        q.remove(e)
+        assert q.pending() == []
+
+    def test_remove_missing_rejected(self, flow):
+        q = ChannelQueue(0)
+        with pytest.raises(ConfigurationError):
+            q.remove(data_entry(flow, 10))
+
+    def test_oldest_submit_time(self, flow):
+        q = ChannelQueue(0)
+        assert q.oldest_submit_time is None
+        q.append(data_entry(flow, 10, submit_time=2.0))
+        q.append(data_entry(flow, 10, submit_time=1.0))
+        assert q.oldest_submit_time == 2.0  # arrival order, not time order
+
+    def test_pending_bytes(self, flow):
+        q = ChannelQueue(0)
+        q.append(data_entry(flow, 100))
+        q.append(data_entry(flow, 50))
+        assert q.pending_bytes == 150
+
+    def test_bool(self, flow):
+        q = ChannelQueue(0)
+        assert not q
+        q.append(data_entry(flow, 10))
+        assert q
+
+
+class TestWaitingLists:
+    def test_enqueue_routes_by_channel(self, flow):
+        w = WaitingLists()
+        a, b = data_entry(flow, 10), data_entry(flow, 20)
+        w.enqueue(a, 0)
+        w.enqueue(b, 3)
+        assert w.queue(0).pending() == [a]
+        assert w.queue(3).pending() == [b]
+
+    def test_non_empty_in_channel_order(self, flow):
+        w = WaitingLists()
+        w.enqueue(data_entry(flow, 1), 5)
+        w.enqueue(data_entry(flow, 1), 2)
+        w.queue(7)  # empty queue, must not appear
+        assert [q.channel_id for q in w.non_empty()] == [2, 5]
+
+    def test_totals(self, flow):
+        w = WaitingLists()
+        w.enqueue(data_entry(flow, 100, submit_time=1.0), 0)
+        w.enqueue(data_entry(flow, 50, submit_time=0.5), 1)
+        assert w.total_pending == 2
+        assert w.total_pending_bytes == 150
+        assert w.oldest_submit_time == 0.5
+        assert bool(w)
+
+    def test_empty_totals(self):
+        w = WaitingLists()
+        assert w.total_pending == 0
+        assert w.oldest_submit_time is None
+        assert not bool(w)

@@ -1,0 +1,83 @@
+"""Property tests for the waiting packet lists under random operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.waiting import ChannelQueue, WaitingLists
+from repro.madeleine.message import Flow
+from repro.madeleine.submit import EntryState
+
+from tests.core.helpers import data_entry
+
+
+@st.composite
+def queue_operations(draw):
+    """A random interleaving of append / consume / park operations."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n):
+        ops.append(
+            draw(
+                st.sampled_from(
+                    ["append", "append", "consume_head", "park_head", "consume_partial"]
+                )
+            )
+        )
+    return ops
+
+
+class TestChannelQueueProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(ops=queue_operations())
+    def test_pending_always_waiting_in_arrival_order(self, ops):
+        flow = Flow("f", "n0", "n1")
+        queue = ChannelQueue(0)
+        appended = []
+        for op in ops:
+            pending = queue.pending()
+            if op == "append":
+                entry = data_entry(flow, 100)
+                queue.append(entry)
+                appended.append(entry)
+            elif op == "consume_head" and pending:
+                head = pending[0]
+                head.consume(head.remaining)
+            elif op == "consume_partial" and pending:
+                head = pending[0]
+                if head.remaining > 1:
+                    head.consume(head.remaining // 2)
+            elif op == "park_head" and pending:
+                head = pending[0]
+                if head.state is EntryState.WAITING:
+                    queue.remove(head)
+                    head.state = EntryState.RDV_PENDING
+
+        pending = queue.pending()
+        # 1. Only pending-state entries are visible.
+        assert all(
+            e.state in (EntryState.WAITING, EntryState.RDV_READY) for e in pending
+        )
+        # 2. Arrival order is preserved.
+        order = {id(e): i for i, e in enumerate(appended)}
+        positions = [order[id(e)] for e in pending]
+        assert positions == sorted(positions)
+        # 3. pending_bytes agrees with the entries' remaining counts.
+        assert queue.pending_bytes == sum(e.remaining for e in pending)
+        # 4. Windowed view is a prefix of the full view.
+        assert queue.pending(window=3) == pending[:3]
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        channels=st.lists(
+            st.integers(min_value=0, max_value=5), min_size=1, max_size=30
+        )
+    )
+    def test_waiting_lists_totals(self, channels):
+        flow = Flow("f", "n0", "n1")
+        lists = WaitingLists()
+        for channel_id in channels:
+            lists.enqueue(data_entry(flow, 10), channel_id)
+        assert lists.total_pending == len(channels)
+        assert lists.total_pending_bytes == 10 * len(channels)
+        seen = [q.channel_id for q in lists.non_empty()]
+        assert seen == sorted(set(channels))

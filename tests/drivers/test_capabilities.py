@@ -1,0 +1,55 @@
+"""Tests for driver capability descriptors."""
+
+import pytest
+
+from repro.drivers.capabilities import DriverCapabilities
+from repro.util.errors import ConfigurationError
+
+
+def caps(**overrides):
+    params = dict(technology="mx")
+    params.update(overrides)
+    return DriverCapabilities(**params)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        c = caps()
+        assert c.supports_pio and c.supports_dma
+
+    def test_no_transfer_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            caps(supports_pio=False, supports_dma=False)
+
+    def test_gather_entry_minimum(self):
+        with pytest.raises(ConfigurationError):
+            caps(max_gather_entries=0)
+
+    def test_gather_support_needs_entries(self):
+        with pytest.raises(ConfigurationError):
+            caps(supports_gather=True, max_gather_entries=1)
+
+    def test_no_gather_single_entry_ok(self):
+        c = caps(supports_gather=False, max_gather_entries=1)
+        assert c.aggregation_limit == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_aggregate_size", 0),
+            ("eager_threshold", -1),
+            ("rdv_ack_delay", -1.0),
+            ("max_channels", 0),
+            ("pio_threshold", -1),
+        ],
+    )
+    def test_range_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            caps(**{field: value})
+
+    def test_aggregation_limit_with_gather(self):
+        assert caps(max_gather_entries=8).aggregation_limit == 8
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            caps().max_channels = 99

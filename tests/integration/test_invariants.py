@@ -1,0 +1,175 @@
+"""System-level property tests.
+
+These are the invariants the whole library rests on, checked under
+randomly generated workloads and configurations:
+
+1. **Liveness** — every submitted message eventually completes, on any
+   engine/strategy/policy combination.
+2. **Byte conservation** — exactly the submitted payload bytes arrive,
+   never more (the reassembler separately rejects duplicates).
+3. **Completion timestamps** are never before submission and never after
+   the drain time.
+4. **Determinism** — a seed fully determines the outcome.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.madeleine.message import PackMode
+from repro.network.virtual import TrafficClass
+from repro.runtime.cluster import Cluster
+from repro.util.units import KiB, us
+
+ENGINES = ["optimizing", "legacy"]
+STRATEGIES = ["aggregate", "eager", "search", "nagle"]
+
+
+@st.composite
+def workload(draw):
+    """A random multi-flow workload description."""
+    n_flows = draw(st.integers(min_value=1, max_value=5))
+    flows = []
+    for i in range(n_flows):
+        n_messages = draw(st.integers(min_value=1, max_value=6))
+        messages = []
+        for _ in range(n_messages):
+            n_fragments = draw(st.integers(min_value=1, max_value=3))
+            fragments = [
+                (
+                    draw(st.integers(min_value=1, max_value=64 * KiB)),
+                    draw(st.sampled_from(list(PackMode))),
+                    draw(st.booleans()),
+                )
+                for _ in range(n_fragments)
+            ]
+            messages.append(fragments)
+        traffic_class = draw(st.sampled_from(list(TrafficClass)))
+        flows.append((traffic_class, messages))
+    return flows
+
+
+def submit_workload(cluster, flows):
+    api = cluster.api("n0")
+    submitted = []
+    total_bytes = 0
+    for traffic_class, messages in flows:
+        flow = api.open_flow("n1", traffic_class=traffic_class)
+        for fragments in messages:
+            session = api.begin(flow)
+            for size, mode, express in fragments:
+                session.pack(size, mode=mode, express=express)
+                total_bytes += size
+            submitted.append(session.flush())
+    return submitted, total_bytes
+
+
+class TestLivenessAndConservation:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        flows=workload(),
+        engine=st.sampled_from(ENGINES),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_every_message_completes_exactly_once(self, flows, engine, seed):
+        cluster = Cluster(engine=engine, seed=seed)
+        submitted, total_bytes = submit_workload(cluster, flows)
+        cluster.run_until_idle()
+
+        assert all(m.completion.done for m in submitted)
+        report = cluster.report()
+        assert report.messages == len(submitted)
+        assert report.total_bytes == total_bytes
+        # Receiver-side accounting agrees.
+        assert cluster.reassemblers["n1"].messages_completed == len(submitted)
+        assert cluster.reassemblers["n1"].incomplete_messages == 0
+        # Engine waiting lists fully drained, no rdv leaks.
+        assert cluster.engine("n0").backlog == 0
+        assert cluster.engine("n0").rendezvous_in_flight == 0
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(flows=workload(), strategy=st.sampled_from(STRATEGIES))
+    def test_all_strategies_are_live(self, flows, strategy):
+        config = EngineConfig(nagle_delay=5 * us, nagle_min_bytes=1 * KiB)
+        cluster = Cluster(strategy=strategy, config=config)
+        submitted, _ = submit_workload(cluster, flows)
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in submitted)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(flows=workload())
+    def test_multirail_heterogeneous_live(self, flows):
+        cluster = Cluster(networks=[("mx", 1), ("elan", 1)])
+        submitted, total = submit_workload(cluster, flows)
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in submitted)
+        assert cluster.report().total_bytes == total
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(flows=workload(), engine=st.sampled_from(ENGINES))
+    def test_timestamps_sane(self, flows, engine):
+        cluster = Cluster(engine=engine)
+        submitted, _ = submit_workload(cluster, flows)
+        end = cluster.run_until_idle()
+        for m in submitted:
+            assert m.submit_time is not None
+            assert m.submit_time <= m.completion.value <= end
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(flows=workload(), seed=st.integers(min_value=0, max_value=100))
+    def test_determinism(self, flows, seed):
+        def run():
+            cluster = Cluster(seed=seed)
+            submitted, _ = submit_workload(cluster, flows)
+            cluster.run_until_idle()
+            return [m.completion.value for m in submitted]
+
+        assert run() == run()
+
+
+class TestWindowSweepLiveness:
+    @pytest.mark.parametrize("window", [1, 2, 8, 64])
+    def test_any_window_is_live(self, window):
+        cluster = Cluster(config=EngineConfig(lookahead_window=window))
+        api = cluster.api("n0")
+        flows = [api.open_flow("n1") for _ in range(4)]
+        messages = [api.send(f, 256) for f in flows for _ in range(10)]
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in messages)
+
+
+class TestManyNodes:
+    def test_all_to_all(self):
+        cluster = Cluster(n_nodes=4)
+        messages = []
+        for src in cluster.node_names:
+            api = cluster.api(src)
+            for dst in cluster.node_names:
+                if src == dst:
+                    continue
+                flow = api.open_flow(dst)
+                messages.extend(api.send(flow, 512) for _ in range(3))
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in messages)
+        assert cluster.report().messages == len(messages)

@@ -1,0 +1,75 @@
+"""Liveness matrix: every strategy × channel policy × engine feature
+combination must deliver a mixed workload (eager + rendezvous + control)
+completely."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveChannels
+from repro.core.channels import OneToOneChannels, PooledChannels, WeightedChannels
+from repro.core.config import EngineConfig
+from repro.network.virtual import TrafficClass
+from repro.runtime import Cluster
+from repro.util.units import KiB, us
+
+STRATEGIES = ["eager", "aggregate", "search", "nagle", "auto"]
+POLICIES = {
+    "pooled": lambda: PooledChannels(by_class=True),
+    "shared": lambda: PooledChannels(by_class=False),
+    "one-to-one": OneToOneChannels,
+    "weighted": WeightedChannels,
+    "adaptive": AdaptiveChannels,
+}
+
+
+def mixed_workload(cluster):
+    api = cluster.api("n0")
+    messages = []
+    control = api.open_flow("n1", traffic_class=TrafficClass.CONTROL)
+    bulk = api.open_flow("n1", traffic_class=TrafficClass.BULK)
+    default_flows = [api.open_flow("n1") for _ in range(3)]
+    for _ in range(10):
+        messages.append(api.send(control, 32, header_size=0))
+        for flow in default_flows:
+            messages.append(api.send(flow, 512))
+    messages.append(api.send(bulk, 128 * KiB, header_size=0))  # rendezvous
+    return messages
+
+
+class TestStrategyPolicyMatrix:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_combination_delivers_everything(self, strategy, policy_name):
+        config = EngineConfig(nagle_delay=4 * us, nagle_min_bytes=1 * KiB)
+        cluster = Cluster(
+            strategy=strategy,
+            policy=POLICIES[policy_name],
+            config=config,
+            seed=13,
+        )
+        messages = mixed_workload(cluster)
+        cluster.run_until_idle()
+        missing = [m.message_id for m in messages if not m.completion.done]
+        assert missing == [], f"{strategy}/{policy_name} lost {len(missing)} messages"
+        assert cluster.engine("n0").backlog == 0
+        assert cluster.engine("n0").rendezvous_in_flight == 0
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_strategies_on_multirail(self, strategy):
+        cluster = Cluster(
+            networks=[("mx", 2)],
+            strategy=strategy,
+            config=EngineConfig(stripe_chunk=32 * KiB),
+            seed=13,
+        )
+        messages = mixed_workload(cluster)
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in messages)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_policies_on_legacy_engine(self, policy_name):
+        cluster = Cluster(
+            engine="legacy", policy=POLICIES[policy_name], seed=13
+        )
+        messages = mixed_workload(cluster)
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in messages)

@@ -1,0 +1,55 @@
+"""Moderate-scale stress: conservation and stability at 10k+ messages."""
+
+import pytest
+
+from repro.middleware import uniform_small_flows
+from repro.network.virtual import TrafficClass
+from repro.runtime import Cluster, run_session
+from repro.util.units import KiB, us
+
+
+class TestStress:
+    def test_ten_thousand_messages_conserved(self):
+        cluster = Cluster(seed=99)
+        apps = uniform_small_flows(16, size=200, count=625, interval=1 * us)
+        report = run_session(cluster, [a.install for a in apps])
+        assert report.messages == 16 * 625
+        # 200 B payload + 16 B express header per message.
+        assert report.total_bytes == 16 * 625 * 216
+        assert cluster.engine("n0").backlog == 0
+        assert cluster.reassemblers["n1"].incomplete_messages == 0
+
+    def test_sustained_mixed_load_with_rendezvous(self):
+        cluster = Cluster(n_nodes=3, seed=99)
+        api = cluster.api("n0")
+        messages = []
+        flows = {
+            "n1": api.open_flow("n1"),
+            "n2": api.open_flow("n2"),
+        }
+        bulk = api.open_flow("n1", traffic_class=TrafficClass.BULK)
+        for i in range(2000):
+            messages.append(api.send(flows["n1" if i % 2 else "n2"], 300))
+            if i % 100 == 0:
+                messages.append(api.send(bulk, 256 * KiB, header_size=0))
+        cluster.run_until_idle()
+        assert all(m.completion.done for m in messages)
+        stats = cluster.engine("n0").stats
+        assert stats.rdv_parked == 20
+        assert stats.rdv_ready == 20
+
+    def test_event_count_scales_roughly_linearly(self):
+        """Events per message stay bounded (no quadratic blow-up)."""
+
+        def events_per_message(n_messages):
+            cluster = Cluster(seed=1)
+            api = cluster.api("n0")
+            flow = api.open_flow("n1")
+            for _ in range(n_messages):
+                api.send(flow, 256, header_size=0)
+            cluster.run_until_idle()
+            return cluster.sim.events_processed / n_messages
+
+        small = events_per_message(200)
+        large = events_per_message(2000)
+        assert large < small * 2.0

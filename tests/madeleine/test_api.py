@@ -1,0 +1,107 @@
+"""Tests for the packing API facade."""
+
+import pytest
+
+from repro.madeleine.api import MadAPI, PackingSession
+from repro.madeleine.message import PackMode
+from repro.madeleine.rx import MessageReassembler
+from repro.network.virtual import TrafficClass
+from repro.sim import Simulator
+from repro.util.errors import ConfigurationError
+
+
+class FakeEngine:
+    """Minimal engine satisfying CommEngineProtocol."""
+
+    def __init__(self, node_name="n0"):
+        self.node_name = node_name
+        self.submitted = []
+
+    def submit_message(self, message):
+        message.mark_flushed(0.0)
+        self.submitted.append(message)
+
+
+@pytest.fixture
+def api():
+    sim = Simulator()
+    return MadAPI("n0", FakeEngine(), MessageReassembler(sim, "n0"))
+
+
+class TestConstruction:
+    def test_engine_node_mismatch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            MadAPI("n0", FakeEngine("n1"), MessageReassembler(sim, "n0"))
+
+
+class TestFlows:
+    def test_open_flow_defaults(self, api):
+        flow = api.open_flow("n1")
+        assert flow.src == "n0" and flow.dst == "n1"
+        assert flow.traffic_class is TrafficClass.DEFAULT
+
+    def test_flow_names_unique(self, api):
+        assert api.open_flow("n1").name != api.open_flow("n1").name
+
+    def test_begin_foreign_flow_rejected(self, api):
+        other = MadAPI(
+            "n1", FakeEngine("n1"), MessageReassembler(Simulator(), "n1")
+        ).open_flow("n0")
+        with pytest.raises(ConfigurationError):
+            api.begin(other)
+
+
+class TestPackingSession:
+    def test_pack_and_flush(self, api):
+        flow = api.open_flow("n1")
+        session = api.begin(flow)
+        session.pack(16, express=True).pack(512, mode=PackMode.LATER)
+        message = session.flush()
+        assert api.engine.submitted == [message]
+        assert [f.size for f in message.fragments] == [16, 512]
+        assert message.fragments[0].express
+        assert message.fragments[1].mode is PackMode.LATER
+
+    def test_pack_after_flush_rejected(self, api):
+        session = api.begin(api.open_flow("n1"))
+        session.pack(8)
+        session.flush()
+        with pytest.raises(ConfigurationError):
+            session.pack(8)
+
+    def test_double_flush_rejected(self, api):
+        session = api.begin(api.open_flow("n1"))
+        session.pack(8)
+        session.flush()
+        with pytest.raises(ConfigurationError):
+            session.flush()
+
+    def test_send_convenience(self, api):
+        flow = api.open_flow("n1")
+        message = api.send(flow, 1024, header_size=32)
+        assert [f.size for f in message.fragments] == [32, 1024]
+        assert message.fragments[0].express
+
+    def test_send_without_header(self, api):
+        message = api.send(api.open_flow("n1"), 1024, header_size=0)
+        assert [f.size for f in message.fragments] == [1024]
+
+
+class TestReceiveSide:
+    def test_subscribe_requires_incoming_flow(self, api):
+        outgoing = api.open_flow("n1")
+        with pytest.raises(ConfigurationError):
+            api.subscribe(outgoing, lambda m, t: None)
+
+    def test_inbox_requires_incoming_flow(self, api):
+        outgoing = api.open_flow("n1")
+        with pytest.raises(ConfigurationError):
+            api.inbox(outgoing)
+
+    def test_incoming_flow_accepted(self, api):
+        peer = MadAPI("n1", FakeEngine("n1"), MessageReassembler(Simulator(), "n1"))
+        incoming = peer.open_flow("n0")
+        api.subscribe(incoming, lambda m, t: None)
+        api.subscribe_express(incoming, lambda f, t: None)
+        assert api.inbox(incoming) is api.inbox(incoming)

@@ -1,0 +1,85 @@
+"""Tests for the mad_* function-style compatibility API."""
+
+import pytest
+
+from repro.madeleine.compat import (
+    mad_begin_packing,
+    mad_begin_unpacking,
+    mad_end_packing,
+    mad_end_unpacking,
+    mad_pack,
+    mad_receive_CHEAPER,
+    mad_receive_EXPRESS,
+    mad_send_CHEAPER,
+    mad_send_LATER,
+    mad_send_SAFER,
+)
+from repro.madeleine.message import PackMode
+from repro.runtime import Cluster
+from repro.sim import Process
+from repro.util.errors import ProtocolError
+from repro.util.units import KiB
+
+
+class TestPackingSide:
+    def test_full_roundtrip(self):
+        cluster = Cluster(seed=1)
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+
+        connection = mad_begin_packing(api0, flow)
+        mad_pack(connection, 16, mad_send_SAFER, mad_receive_EXPRESS)
+        mad_pack(connection, 4 * KiB, mad_send_CHEAPER, mad_receive_CHEAPER)
+        message = mad_end_packing(connection)
+
+        assert message.fragments[0].express
+        assert message.fragments[0].mode is PackMode.SAFER
+        assert message.fragments[1].mode is PackMode.CHEAPER
+
+        got = {}
+
+        def receiver():
+            conn = mad_begin_unpacking(api1, flow)
+            header = yield mad_unpack_helper(conn, 16)
+            got["header"] = header
+            body = yield mad_unpack_helper(conn, 4 * KiB)
+            got["body"] = body
+            final = yield mad_end_unpacking(conn)
+            got["message"] = final
+
+        from repro.madeleine.compat import mad_unpack as mad_unpack_helper
+
+        Process(cluster.sim, receiver())
+        cluster.run_until_idle()
+        assert got["header"].size == 16
+        assert got["body"].size == 4 * KiB
+        assert got["message"] is message
+
+    def test_later_mode_mapped(self):
+        cluster = Cluster(seed=1)
+        api = cluster.api("n0")
+        flow = api.open_flow("n1")
+        connection = mad_begin_packing(api, flow)
+        mad_pack(connection, 64, mad_send_LATER)
+        message = mad_end_packing(connection)
+        assert message.fragments[0].mode is PackMode.LATER
+        cluster.run_until_idle()
+        assert message.completion.done
+
+    def test_size_mismatch_detected(self):
+        from repro.madeleine.compat import mad_unpack
+
+        cluster = Cluster(seed=1)
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+        connection = mad_begin_packing(api0, flow)
+        mad_pack(connection, 100)
+        mad_end_packing(connection)
+
+        def receiver():
+            conn = mad_begin_unpacking(api1, flow)
+            yield mad_unpack(conn, 999)
+
+        Process(cluster.sim, receiver())
+        with pytest.raises(ProtocolError):
+            cluster.run_until_idle()

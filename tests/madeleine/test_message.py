@@ -1,0 +1,74 @@
+"""Tests for flows, fragments, and structured messages."""
+
+import pytest
+
+from repro.madeleine.message import Flow, Message, PackMode
+from repro.network.virtual import TrafficClass
+from repro.util.errors import ConfigurationError
+
+
+class TestFlow:
+    def test_fields(self):
+        f = Flow("f", "a", "b", TrafficClass.BULK)
+        assert (f.src, f.dst, f.traffic_class) == ("a", "b", TrafficClass.BULK)
+        assert f.messages_sent == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Flow("bad", "a", "a")
+
+    def test_unique_ids(self):
+        assert Flow("x", "a", "b").flow_id != Flow("y", "a", "b").flow_id
+
+
+class TestMessage:
+    @pytest.fixture
+    def flow(self):
+        return Flow("f", "a", "b")
+
+    def test_sequence_numbers_per_flow(self, flow):
+        m1, m2 = Message(flow), Message(flow)
+        assert (m1.seq, m2.seq) == (0, 1)
+        assert flow.messages_sent == 2
+
+    def test_add_fragments_in_order(self, flow):
+        m = Message(flow)
+        h = m.add_fragment(16, express=True)
+        d = m.add_fragment(1024, mode=PackMode.LATER)
+        assert [f.index for f in m.fragments] == [0, 1]
+        assert h.express and not d.express
+        assert d.mode is PackMode.LATER
+        assert m.total_size == 1040
+
+    def test_zero_size_fragment_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            Message(flow).add_fragment(0)
+
+    def test_flush_lifecycle(self, flow):
+        m = Message(flow)
+        m.add_fragment(8)
+        assert not m.flushed
+        m.mark_flushed(1.0)
+        assert m.flushed and m.submit_time == 1.0
+
+    def test_double_flush_rejected(self, flow):
+        m = Message(flow)
+        m.add_fragment(8)
+        m.mark_flushed(1.0)
+        with pytest.raises(ConfigurationError):
+            m.mark_flushed(2.0)
+
+    def test_empty_flush_rejected(self, flow):
+        with pytest.raises(ConfigurationError):
+            Message(flow).mark_flushed(0.0)
+
+    def test_pack_after_flush_rejected(self, flow):
+        m = Message(flow)
+        m.add_fragment(8)
+        m.mark_flushed(0.0)
+        with pytest.raises(ConfigurationError):
+            m.add_fragment(8)
+
+    def test_completion_initially_unresolved(self, flow):
+        m = Message(flow)
+        assert not m.completion.done

@@ -1,0 +1,132 @@
+"""Tests for the receive-side unpacking API (mad_begin_unpacking)."""
+
+import pytest
+
+from repro.runtime import Cluster
+from repro.sim import Process
+from repro.util.errors import ConfigurationError, ProtocolError
+from repro.util.units import KiB
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(seed=4)
+
+
+class TestUnpackingSession:
+    def test_unpack_in_order(self, cluster):
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+        got = []
+
+        def receiver():
+            session = api1.begin_unpacking(flow)
+            header = yield session.unpack(16)
+            got.append(("header", header.size, cluster.sim.now))
+            body = yield session.unpack(4 * KiB)
+            got.append(("body", body.size, cluster.sim.now))
+            message = yield session.end()
+            got.append(("end", message.message_id, cluster.sim.now))
+
+        Process(cluster.sim, receiver())
+        message = api0.send(flow, 4 * KiB, header_size=16)
+        cluster.run_until_idle()
+        assert [g[0] for g in got] == ["header", "body", "end"]
+        assert got[0][1] == 16
+        assert got[2][1] == message.message_id
+
+    def test_express_header_resolves_before_body(self, cluster):
+        """The point of express data: readable ahead of the bulk."""
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+        times = {}
+
+        def receiver():
+            session = api1.begin_unpacking(flow)
+            yield session.unpack(16)
+            times["header"] = cluster.sim.now
+            yield session.unpack()
+            times["body"] = cluster.sim.now
+
+        Process(cluster.sim, receiver())
+        # Large rendezvous body: header (eager) lands long before it.
+        api0.send(flow, 512 * KiB, header_size=16)
+        cluster.run_until_idle()
+        assert times["header"] < times["body"] / 2
+
+    def test_size_mismatch_raises(self, cluster):
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+
+        def receiver():
+            session = api1.begin_unpacking(flow)
+            yield session.unpack(999)  # sender packed 16
+
+        Process(cluster.sim, receiver())
+        api0.send(flow, 1 * KiB, header_size=16)
+        with pytest.raises(ProtocolError, match="expected 999"):
+            cluster.run_until_idle()
+
+    def test_unpack_beyond_structure_raises(self, cluster):
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+
+        def receiver():
+            session = api1.begin_unpacking(flow)
+            yield session.unpack()
+            yield session.unpack()
+            yield session.unpack()  # message has only 2 fragments
+
+        Process(cluster.sim, receiver())
+        api0.send(flow, 1 * KiB, header_size=16)
+        with pytest.raises(ProtocolError, match="only 2 fragment"):
+            cluster.run_until_idle()
+
+    def test_unpack_after_end_rejected(self, cluster):
+        api1 = cluster.api("n1")
+        flow = cluster.api("n0").open_flow("n1")
+        session = api1.begin_unpacking(flow)
+        session.end()
+        with pytest.raises(ConfigurationError):
+            session.unpack()
+
+    def test_session_latches_messages_in_order(self, cluster):
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+        seen = []
+
+        def receiver():
+            for _ in range(3):
+                session = api1.begin_unpacking(flow)
+                message = yield session.end()
+                seen.append(message.message_id)
+
+        Process(cluster.sim, receiver())
+        sent = [api0.send(flow, 256) for _ in range(3)]
+        cluster.run_until_idle()
+        assert seen == [m.message_id for m in sent]
+
+    def test_session_opened_after_arrival(self, cluster):
+        """An already-announced (even completed) message still matches."""
+        api0, api1 = cluster.api("n0"), cluster.api("n1")
+        flow = api0.open_flow("n1")
+        sent = api0.send(flow, 256)
+        cluster.run_until_idle()
+        got = []
+
+        def late_receiver():
+            session = api1.begin_unpacking(flow)
+            fragment = yield session.unpack()
+            got.append(fragment)
+            message = yield session.end()
+            got.append(message)
+
+        Process(cluster.sim, late_receiver())
+        cluster.run_until_idle()
+        assert got[1] is sent
+
+    def test_wrong_direction_rejected(self, cluster):
+        api0 = cluster.api("n0")
+        flow = api0.open_flow("n1")
+        with pytest.raises(ConfigurationError):
+            api0.begin_unpacking(flow)

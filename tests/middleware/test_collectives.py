@@ -1,0 +1,183 @@
+"""Tests for the collective-operation workloads."""
+
+import pytest
+
+from repro.middleware import (
+    AllReduceApp,
+    BarrierApp,
+    BroadcastApp,
+    CollectiveApp,
+    HaloExchangeApp,
+)
+from repro.runtime import Cluster, run_session
+from repro.util.errors import ConfigurationError
+from repro.util.units import KiB
+
+
+def group(n=4, **kwargs):
+    cluster = Cluster(n_nodes=n, **kwargs)
+    return cluster, cluster.node_names
+
+
+class TestCollectiveBase:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            BarrierApp(["n0"])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BarrierApp(["n0", "n0"])
+
+    def test_size(self):
+        assert BarrierApp(["n0", "n1", "n2"]).size == 3
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_all_group_sizes_complete(self, n):
+        cluster, nodes = group(n)
+        app = BroadcastApp(nodes, size=1 * KiB, rounds=2)
+        run_session(cluster, [app.install])
+        assert app.done.done
+        assert len(app.durations) == 2
+        assert all(d > 0 for d in app.durations)
+
+    def test_binomial_tree_structure(self):
+        app = BroadcastApp([f"n{i}" for i in range(8)])
+        # Rank 0 feeds 4, 2, 1 (largest subtree first) in a tree of 8.
+        assert app._children(0) == [4, 2, 1]
+        assert app._children(1) == []
+        assert app._children(2) == [3]
+        assert app._children(4) == [6, 5]
+        assert app._parent(5) == 4
+        assert app._parent(6) == 4
+        assert app._parent(3) == 2
+
+    def test_binomial_beats_flat_broadcast(self):
+        """The tree parallelizes forwarding: with 8 ranks and a 16 KiB
+        payload it clearly beats the root sending to everyone itself."""
+        from repro.sim import Process
+
+        def binomial_duration():
+            cluster, nodes = group(8)
+            app = BroadcastApp(nodes, size=16 * KiB, rounds=1)
+            run_session(cluster, [app.install])
+            return app.durations[0]
+
+        def flat_duration():
+            cluster, nodes = group(8)
+            api = cluster.api(nodes[0])
+            flows = [api.open_flow(dst) for dst in nodes[1:]]
+            inboxes = {}
+            ack_flows = {}
+            for dst, flow in zip(nodes[1:], flows):
+                peer = cluster.api(dst)
+                inboxes[dst] = peer.inbox(flow)
+                ack = peer.open_flow(nodes[0])
+                ack_flows[dst] = ack
+
+            result = {}
+
+            def root():
+                start = cluster.sim.now
+                for flow in flows:
+                    api.send(flow, 16 * KiB)
+                for dst in nodes[1:]:
+                    yield api.inbox(ack_flows[dst]).get()
+                result["duration"] = cluster.sim.now - start
+
+            def leaf(dst):
+                yield inboxes[dst].get()
+                cluster.api(dst).send(ack_flows[dst], 8, header_size=0)
+
+            Process(cluster.sim, root())
+            for dst in nodes[1:]:
+                Process(cluster.sim, leaf(dst))
+            cluster.run_until_idle()
+            return result["duration"]
+
+        assert binomial_duration() < 0.8 * flat_duration()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastApp(["n0", "n1"], rounds=0)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_completes(self, n):
+        cluster, nodes = group(n)
+        app = BarrierApp(nodes, rounds=3)
+        run_session(cluster, [app.install])
+        assert len(app.durations) == 3
+
+    def test_barrier_synchronizes(self):
+        """No rank may start barrier k+1 before every rank entered k —
+        measured indirectly: barrier time >= one-way latency."""
+        cluster, nodes = group(4)
+        app = BarrierApp(nodes, rounds=1)
+        run_session(cluster, [app.install])
+        assert app.durations[0] > 1e-6
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_power_of_two_groups(self, n):
+        cluster, nodes = group(n)
+        app = AllReduceApp(nodes, size=2 * KiB, rounds=2)
+        run_session(cluster, [app.install])
+        assert len(app.durations) == 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AllReduceApp(["n0", "n1", "n2"])
+
+    def test_steps_scale_with_log_n(self):
+        def duration(n):
+            cluster, nodes = group(n)
+            app = AllReduceApp(nodes, size=1 * KiB, rounds=1)
+            run_session(cluster, [app.install])
+            return app.durations[0]
+
+        # 8 ranks = 3 steps vs 2 ranks = 1 step: about 3x, not 4x.
+        assert duration(8) < 5 * duration(2)
+
+
+class TestHaloExchange:
+    def test_ring_completes(self):
+        cluster, nodes = group(4)
+        app = HaloExchangeApp(nodes, halo_size=4 * KiB, iterations=5)
+        run_session(cluster, [app.install])
+        assert len(app.durations) == 5
+
+    def test_compute_time_adds_up(self):
+        def duration(compute):
+            cluster, nodes = group(3)
+            app = HaloExchangeApp(
+                nodes, halo_size=1 * KiB, iterations=2, compute_time=compute
+            )
+            run_session(cluster, [app.install])
+            return sum(app.durations)
+
+        assert duration(100e-6) > duration(0.0) + 150e-6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HaloExchangeApp(["n0", "n1"], compute_time=-1.0)
+
+
+class TestCollectivesOnLegacyEngine:
+    def test_broadcast_on_legacy(self):
+        cluster, nodes = group(4, engine="legacy")
+        app = BroadcastApp(nodes, size=1 * KiB, rounds=2)
+        run_session(cluster, [app.install])
+        assert app.done.done
+
+    def test_optimizer_not_slower_on_collectives(self):
+        def barrier_time(engine):
+            cluster, nodes = group(8, engine=engine)
+            app = BarrierApp(nodes, rounds=5)
+            run_session(cluster, [app.install])
+            return sum(app.durations)
+
+        assert barrier_time("optimizing") <= barrier_time("legacy") * 1.1

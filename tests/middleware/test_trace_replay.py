@@ -1,0 +1,145 @@
+"""Tests for trace synthesis, persistence, and replay."""
+
+import pytest
+
+from repro.middleware import (
+    TraceRecord,
+    TraceReplayApp,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+from repro.network.virtual import TrafficClass
+from repro.runtime import Cluster, run_session
+from repro.util.errors import ConfigurationError
+from repro.util.rng import SeedSequenceRegistry
+from repro.util.units import ms, us
+
+
+def rng(seed=1):
+    return SeedSequenceRegistry(seed).stream("trace")
+
+
+class TestTraceRecord:
+    def test_valid(self):
+        r = TraceRecord(1e-6, "n0", "n1", 100, TrafficClass.BULK, 2)
+        assert r.size == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(time=-1.0, src="a", dst="b", size=10),
+            dict(time=0.0, src="a", dst="b", size=0),
+            dict(time=0.0, src="a", dst="a", size=10),
+            dict(time=0.0, src="a", dst="b", size=10, fragments=0),
+            dict(time=0.0, src="a", dst="b", size=10, fragments=11),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TraceRecord(**kwargs)
+
+
+class TestSynthesis:
+    def test_generates_plausible_mix(self):
+        trace = synthesize_trace(
+            rng(),
+            nodes=["n0", "n1", "n2"],
+            duration=2 * ms,
+            message_rate=200_000.0,
+        )
+        assert len(trace) > 100
+        classes = {r.traffic_class for r in trace}
+        assert TrafficClass.CONTROL in classes
+        assert TrafficClass.BULK in classes
+        assert TrafficClass.DEFAULT in classes
+        assert all(0 <= r.time < 2 * ms for r in trace)
+        assert all(r.src != r.dst for r in trace)
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(nodes=["n0", "n1"], duration=1 * ms, message_rate=100_000.0)
+        a = synthesize_trace(rng(7), **kwargs)
+        b = synthesize_trace(rng(7), **kwargs)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_trace(rng(), nodes=["n0"], duration=1.0, message_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            synthesize_trace(
+                rng(), nodes=["n0", "n1"], duration=0.0, message_rate=1.0
+            )
+        with pytest.raises(ConfigurationError):
+            synthesize_trace(
+                rng(), nodes=["n0", "n1"], duration=1.0, message_rate=1.0, burstiness=0.5
+            )
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        trace = synthesize_trace(
+            rng(), nodes=["n0", "n1"], duration=0.5 * ms, message_rate=100_000.0
+        )
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestReplay:
+    def test_replays_every_record(self):
+        trace = synthesize_trace(
+            rng(3), nodes=["n0", "n1"], duration=1 * ms, message_rate=100_000.0
+        )
+        cluster = Cluster(seed=3)
+        app = TraceReplayApp(trace)
+        report = run_session(cluster, [app.install])
+        assert report.messages == len(trace)
+        assert report.total_bytes == sum(r.size for r in trace)
+        assert all(m.completion.done for m in app.messages)
+
+    def test_submit_times_match_trace(self):
+        records = [
+            TraceRecord(10 * us, "n0", "n1", 100),
+            TraceRecord(30 * us, "n0", "n1", 100),
+            TraceRecord(20 * us, "n1", "n0", 100),
+        ]
+        cluster = Cluster(seed=1)
+        app = TraceReplayApp(records)
+        run_session(cluster, [app.install])
+        submit_times = sorted(m.submit_time for m in app.messages)
+        assert submit_times == pytest.approx([10 * us, 20 * us, 30 * us])
+
+    def test_same_trace_comparable_across_engines(self):
+        trace = synthesize_trace(
+            rng(5), nodes=["n0", "n1"], duration=1 * ms, message_rate=300_000.0
+        )
+
+        def run(engine):
+            cluster = Cluster(engine=engine, seed=5)
+            app = TraceReplayApp(trace)
+            return run_session(cluster, [app.install])
+
+        legacy = run("legacy")
+        optimized = run("optimizing")
+        assert legacy.messages == optimized.messages == len(trace)
+        assert optimized.network_transactions < legacy.network_transactions
+
+    def test_fragment_structure_respected(self):
+        records = [TraceRecord(0.0, "n0", "n1", 1000, fragments=4)]
+        cluster = Cluster(seed=1)
+        app = TraceReplayApp(records)
+        run_session(cluster, [app.install])
+        message = app.messages[0]
+        assert len(message.fragments) == 4
+        assert message.total_size == 1000
+        assert message.fragments[0].express
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceReplayApp([])

@@ -1,0 +1,209 @@
+"""Tests for the MPI-flavoured layer: matching, wildcards, the
+unexpected queue, ordering, and the dissemination barrier."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiWorld, Status
+from repro.runtime import Cluster
+from repro.sim import Process
+from repro.util.errors import ConfigurationError
+
+
+def make_world(n=2, seed=1, **kwargs):
+    cluster = Cluster(n_nodes=n, seed=seed, **kwargs)
+    return cluster, MpiWorld(cluster)
+
+
+class TestBasics:
+    def test_send_recv(self):
+        cluster, world = make_world()
+        c0, c1 = world.comm(0), world.comm(1)
+        recv = c1.irecv(source=0, tag=5)
+        send = c0.isend(dest=1, size=1024, tag=5)
+        cluster.run_until_idle()
+        assert send.test() and recv.test()
+        status = recv.status
+        assert (status.source, status.tag, status.size) == (0, 5, 1024)
+        assert status.time > 0
+
+    def test_send_completes_at_delivery(self):
+        cluster, world = make_world()
+        send = world.comm(0).isend(dest=1, size=1024, tag=0)
+        assert not send.test()
+        cluster.run_until_idle()
+        assert send.test()
+
+    def test_validation(self):
+        cluster, world = make_world()
+        c0 = world.comm(0)
+        with pytest.raises(ConfigurationError):
+            c0.isend(dest=0, size=8)  # self-send
+        with pytest.raises(ConfigurationError):
+            c0.isend(dest=9, size=8)
+        with pytest.raises(ConfigurationError):
+            c0.isend(dest=1, size=8, tag=-2)
+        with pytest.raises(ConfigurationError):
+            c0.irecv(source=9)
+        with pytest.raises(ConfigurationError):
+            world.comm(5)
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        cluster, world = make_world()
+        c0, c1 = world.comm(0), world.comm(1)
+        recv_b = c1.irecv(source=0, tag=2)
+        recv_a = c1.irecv(source=0, tag=1)
+        c0.isend(dest=1, size=100, tag=1)
+        c0.isend(dest=1, size=200, tag=2)
+        cluster.run_until_idle()
+        assert recv_a.status.size == 100
+        assert recv_b.status.size == 200
+
+    def test_wildcards(self):
+        cluster, world = make_world(n=3)
+        c2 = world.comm(2)
+        recv = c2.irecv(source=ANY_SOURCE, tag=ANY_TAG)
+        world.comm(1).isend(dest=2, size=64, tag=9)
+        cluster.run_until_idle()
+        assert recv.status.source == 1
+        assert recv.status.tag == 9
+
+    def test_unexpected_queue(self):
+        cluster, world = make_world()
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.isend(dest=1, size=128, tag=3)
+        cluster.run_until_idle()
+        assert c1.pending_unexpected == 1
+        assert c1.probe(source=0, tag=3) is not None
+        assert c1.probe(source=0, tag=4) is None
+        recv = c1.irecv(source=0, tag=3)
+        assert recv.test()  # matched immediately from the queue
+        assert c1.pending_unexpected == 0
+
+    def test_probe_does_not_consume(self):
+        cluster, world = make_world()
+        c0, c1 = world.comm(0), world.comm(1)
+        c0.isend(dest=1, size=128, tag=3)
+        cluster.run_until_idle()
+        assert c1.probe() is not None
+        assert c1.probe() is not None
+        assert c1.pending_unexpected == 1
+
+    def test_non_overtaking_same_source_tag(self):
+        """Two sends with equal (source, tag) match posted receives in
+        order (MPI's non-overtaking guarantee)."""
+        cluster, world = make_world()
+        c0, c1 = world.comm(0), world.comm(1)
+        first = c1.irecv(source=0, tag=1)
+        second = c1.irecv(source=0, tag=1)
+        c0.isend(dest=1, size=111, tag=1)
+        c0.isend(dest=1, size=222, tag=1)
+        cluster.run_until_idle()
+        assert first.status.size == 111
+        assert second.status.size == 222
+
+
+class TestProcessIntegration:
+    def test_closed_loop_pingpong(self):
+        cluster, world = make_world()
+        c0, c1 = world.comm(0), world.comm(1)
+        rtts = []
+
+        def rank0():
+            for i in range(10):
+                start = cluster.sim.now
+                c0.isend(dest=1, size=8, tag=i)
+                yield c0.irecv(source=1, tag=i).future
+                rtts.append(cluster.sim.now - start)
+
+        def rank1():
+            for i in range(10):
+                yield c1.irecv(source=0, tag=i).future
+                c1.isend(dest=0, size=8, tag=i)
+
+        Process(cluster.sim, rank0())
+        Process(cluster.sim, rank1())
+        cluster.run_until_idle()
+        assert len(rtts) == 10
+        assert all(r > 0 for r in rtts)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_all_ranks_released(self, n):
+        cluster, world = make_world(n=n)
+        barriers = [world.comm(r).barrier() for r in range(n)]
+        cluster.run_until_idle()
+        assert all(b.done for b in barriers)
+
+    def test_barrier_waits_for_laggard(self):
+        """No rank passes the barrier before the last one enters."""
+        cluster, world = make_world(n=3)
+        release_times = {}
+        entered = {}
+
+        def lagged_entry(rank, delay):
+            def proc():
+                yield delay
+                entered[rank] = cluster.sim.now
+                barrier = world.comm(rank).barrier()
+                value = yield barrier
+                release_times[rank] = cluster.sim.now
+
+            return proc
+
+        for rank, delay in [(0, 0.0), (1, 1e-5), (2, 5e-4)]:
+            Process(cluster.sim, lagged_entry(rank, delay)())
+        cluster.run_until_idle()
+        assert min(release_times.values()) >= entered[2]
+
+
+class TestMpiOverEngines:
+    def test_works_on_legacy_engine(self):
+        cluster, world = make_world(engine="legacy")
+        recv = world.comm(1).irecv(source=0)
+        world.comm(0).isend(dest=1, size=512)
+        cluster.run_until_idle()
+        assert recv.test()
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        sends=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # src
+                st.integers(min_value=0, max_value=2),  # dst
+                st.integers(min_value=0, max_value=4),  # tag
+                st.integers(min_value=1, max_value=4096),  # size
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_every_send_matches_a_wildcard_recv(self, sends):
+        sends = [(s, d, t, z) for s, d, t, z in sends if s != d]
+        if not sends:
+            return
+        cluster, world = make_world(n=3, seed=2)
+        recvs = []
+        for src, dst, tag, size in sends:
+            recvs.append(world.comm(dst).irecv(source=ANY_SOURCE, tag=ANY_TAG))
+            world.comm(src).isend(dest=dst, size=size, tag=tag)
+        cluster.run_until_idle()
+        assert all(r.test() for r in recvs)
+        # Totals conserved: matched sizes == sent sizes per destination.
+        for dst in range(3):
+            sent = sorted(z for s, d, t, z in sends if d == dst)
+            expected_count = len(sent)
+            matched = sorted(
+                r.status.size
+                for r, (s, d, t, z) in zip(recvs, sends)
+                if d == dst
+            )
+            assert len(matched) == expected_count

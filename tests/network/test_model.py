@@ -1,0 +1,138 @@
+"""Tests for the LinkModel cost structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.model import LinkModel, TransferMode
+from repro.util.errors import ConfigurationError
+from repro.util.units import mb_per_s, us
+
+
+def make_link(**overrides) -> LinkModel:
+    params = dict(
+        name="test",
+        pio_latency=1.0 * us,
+        pio_bandwidth=100 * mb_per_s,
+        dma_latency=3.0 * us,
+        dma_bandwidth=250 * mb_per_s,
+        wire_latency=0.5 * us,
+        copy_bandwidth=1000 * mb_per_s,
+        gather_entry_cost=0.1 * us,
+        rx_overhead=0.5 * us,
+    )
+    params.update(overrides)
+    return LinkModel(**params)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        ["pio_latency", "pio_bandwidth", "dma_latency", "dma_bandwidth", "copy_bandwidth"],
+    )
+    def test_positive_fields(self, field):
+        with pytest.raises(ConfigurationError):
+            make_link(**{field: 0.0})
+
+    @pytest.mark.parametrize("field", ["wire_latency", "gather_entry_cost", "rx_overhead"])
+    def test_non_negative_fields(self, field):
+        with pytest.raises(ConfigurationError):
+            make_link(**{field: -1.0})
+        make_link(**{field: 0.0})  # zero allowed
+
+
+class TestOccupancy:
+    def test_zero_bytes_costs_startup(self):
+        link = make_link()
+        assert link.sender_occupancy(0, TransferMode.PIO) == pytest.approx(1.0 * us)
+        assert link.sender_occupancy(0, TransferMode.DMA) == pytest.approx(3.0 * us)
+
+    def test_linear_in_size(self):
+        link = make_link()
+        t1 = link.sender_occupancy(1000, TransferMode.DMA)
+        t2 = link.sender_occupancy(2000, TransferMode.DMA)
+        assert t2 - t1 == pytest.approx(1000 / (250 * mb_per_s))
+
+    def test_copy_cost_added(self):
+        link = make_link()
+        base = link.sender_occupancy(4096, TransferMode.DMA)
+        copied = link.sender_occupancy(4096, TransferMode.DMA, copied_bytes=4096)
+        assert copied - base == pytest.approx(4096 / (1000 * mb_per_s))
+
+    def test_gather_entries_cost(self):
+        link = make_link()
+        one = link.sender_occupancy(4096, TransferMode.DMA, gather_entries=1)
+        four = link.sender_occupancy(4096, TransferMode.DMA, gather_entries=4)
+        assert four - one == pytest.approx(3 * 0.1 * us)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_link().sender_occupancy(-1, TransferMode.PIO)
+
+    def test_copied_bytes_bounds(self):
+        link = make_link()
+        with pytest.raises(ConfigurationError):
+            link.sender_occupancy(100, TransferMode.DMA, copied_bytes=101)
+        with pytest.raises(ConfigurationError):
+            link.sender_occupancy(100, TransferMode.DMA, copied_bytes=-1)
+
+    def test_gather_entries_minimum(self):
+        with pytest.raises(ConfigurationError):
+            make_link().sender_occupancy(100, TransferMode.DMA, gather_entries=0)
+
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    def test_one_way_exceeds_occupancy(self, size):
+        link = make_link()
+        for mode in TransferMode:
+            occ = link.sender_occupancy(size, mode)
+            assert link.one_way_time(size, mode) >= occ
+
+    @given(
+        st.integers(min_value=0, max_value=1_000_000),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_monotone_in_size(self, a, b):
+        link = make_link()
+        small, large = min(a, b), max(a, b)
+        assert link.sender_occupancy(small, TransferMode.DMA) <= link.sender_occupancy(
+            large, TransferMode.DMA
+        )
+
+
+class TestCrossover:
+    def test_crossover_where_costs_equal(self):
+        link = make_link()
+        s = link.pio_dma_crossover()
+        pio = link.sender_occupancy(int(s), TransferMode.PIO)
+        dma = link.sender_occupancy(int(s), TransferMode.DMA)
+        assert pio == pytest.approx(dma, rel=1e-3)
+
+    def test_pio_cheaper_below_crossover(self):
+        link = make_link()
+        s = int(link.pio_dma_crossover())
+        below = s // 2
+        assert link.sender_occupancy(below, TransferMode.PIO) < link.sender_occupancy(
+            below, TransferMode.DMA
+        )
+
+    def test_dma_cheaper_above_crossover(self):
+        link = make_link()
+        s = int(link.pio_dma_crossover())
+        above = s * 2
+        assert link.sender_occupancy(above, TransferMode.DMA) < link.sender_occupancy(
+            above, TransferMode.PIO
+        )
+
+    def test_pio_always_better(self):
+        # PIO faster per byte AND lower startup: crossover at infinity.
+        link = make_link(pio_bandwidth=500 * mb_per_s, dma_bandwidth=250 * mb_per_s)
+        assert link.pio_dma_crossover() == float("inf")
+
+    def test_dma_always_better(self):
+        link = make_link(
+            pio_latency=5.0 * us,
+            dma_latency=1.0 * us,
+            pio_bandwidth=100 * mb_per_s,
+            dma_bandwidth=500 * mb_per_s,
+        )
+        assert link.pio_dma_crossover() == 0.0

@@ -1,0 +1,86 @@
+"""Tests for channels, pools, and traffic-class assignment."""
+
+import pytest
+
+from repro.network.virtual import Channel, ChannelPool, TrafficClass
+from repro.util.errors import ConfigurationError
+
+
+class TestChannel:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel(-1, "bad")
+
+
+class TestChannelPool:
+    def test_create_assigns_sequential_ids(self):
+        pool = ChannelPool()
+        a = pool.create("a")
+        b = pool.create("b")
+        assert (a.channel_id, b.channel_id) == (0, 1)
+        assert len(pool) == 2
+        assert 0 in pool and 2 not in pool
+
+    def test_get(self):
+        pool = ChannelPool()
+        c = pool.create("x")
+        assert pool.get(c.channel_id) is c
+        with pytest.raises(ConfigurationError):
+            pool.get(99)
+
+    def test_channels_in_creation_order(self):
+        pool = ChannelPool()
+        names = ["a", "b", "c"]
+        for n in names:
+            pool.create(n)
+        assert [c.name for c in pool.channels] == names
+
+
+class TestAssignment:
+    def test_assign_and_resolve(self):
+        pool = ChannelPool()
+        bulk = pool.create("bulk")
+        ctrl = pool.create("ctrl")
+        pool.assign(TrafficClass.BULK, bulk.channel_id)
+        pool.assign(TrafficClass.CONTROL, ctrl.channel_id)
+        assert pool.channel_for(TrafficClass.BULK) is bulk
+        assert pool.channel_for(TrafficClass.CONTROL) is ctrl
+
+    def test_default_fallback(self):
+        pool = ChannelPool()
+        default = pool.create("default")
+        pool.assign(TrafficClass.DEFAULT, default.channel_id)
+        assert pool.channel_for(TrafficClass.PUTGET) is default
+
+    def test_first_channel_fallback(self):
+        pool = ChannelPool()
+        first = pool.create("first")
+        pool.create("second")
+        assert pool.channel_for(TrafficClass.BULK) is first
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPool().channel_for(TrafficClass.BULK)
+
+    def test_assign_unknown_channel_rejected(self):
+        pool = ChannelPool()
+        with pytest.raises(ConfigurationError):
+            pool.assign(TrafficClass.BULK, 5)
+
+    def test_reassignment_is_dynamic(self):
+        """Paper §2: assignment may change while running."""
+        pool = ChannelPool()
+        a = pool.create("a")
+        b = pool.create("b")
+        pool.assign(TrafficClass.BULK, a.channel_id)
+        assert pool.channel_for(TrafficClass.BULK) is a
+        pool.assign(TrafficClass.BULK, b.channel_id)
+        assert pool.channel_for(TrafficClass.BULK) is b
+
+    def test_assignment_copy(self):
+        pool = ChannelPool()
+        a = pool.create("a")
+        pool.assign(TrafficClass.BULK, a.channel_id)
+        snapshot = pool.assignment
+        snapshot[TrafficClass.BULK] = 99
+        assert pool.channel_for(TrafficClass.BULK) is a

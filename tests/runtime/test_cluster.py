@@ -1,0 +1,87 @@
+"""Tests for cluster assembly."""
+
+import pytest
+
+from repro.baseline.legacy import LegacyEngine
+from repro.core.channels import OneToOneChannels
+from repro.core.config import EngineConfig
+from repro.core.engine import OptimizingEngine
+from repro.runtime.cluster import Cluster
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        c = Cluster()
+        assert c.node_names == ["n0", "n1"]
+        assert isinstance(c.engine("n0"), OptimizingEngine)
+        assert len(c.fabric.node("n0").nics) == 1
+
+    def test_engine_kinds(self):
+        assert isinstance(Cluster(engine="legacy").engine("n0"), LegacyEngine)
+        with pytest.raises(ConfigurationError):
+            Cluster(engine="bogus")
+
+    def test_n_nodes(self):
+        c = Cluster(n_nodes=4)
+        assert len(c.node_names) == 4
+        with pytest.raises(ConfigurationError):
+            Cluster(n_nodes=1)
+
+    def test_networks_spec(self):
+        c = Cluster(networks=[("mx", 2), ("elan", 1)])
+        nics = c.fabric.node("n0").nics
+        assert len(nics) == 3
+        assert sorted(n.link.name for n in nics) == ["elan", "mx", "mx"]
+
+    def test_unknown_technology(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(networks=[("quantum", 1)])
+
+    def test_bad_nic_count(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(networks=[("mx", 0)])
+
+    def test_empty_networks(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(networks=[])
+
+    def test_strategy_by_name(self):
+        from repro.core.strategies import EagerStrategy
+
+        c = Cluster(strategy="eager")
+        assert isinstance(c.engine("n0").strategy, EagerStrategy)
+
+    def test_strategy_by_factory(self):
+        from repro.core.strategies import BoundedSearchStrategy
+
+        c = Cluster(strategy=lambda: BoundedSearchStrategy(budget=2))
+        strategy = c.engine("n0").strategy
+        assert isinstance(strategy, BoundedSearchStrategy)
+        assert strategy.budget == 2
+
+    def test_policy_factory_fresh_per_node(self):
+        c = Cluster(policy=OneToOneChannels)
+        assert c.engine("n0").policy is not c.engine("n1").policy
+
+    def test_config_shared(self):
+        cfg = EngineConfig(lookahead_window=3)
+        c = Cluster(config=cfg)
+        assert c.engine("n0").config.lookahead_window == 3
+
+    def test_rng_streams(self):
+        c = Cluster(seed=9)
+        assert c.stream("x") is c.stream("x")
+
+
+class TestRunHelpers:
+    def test_run_until(self):
+        c = Cluster()
+        assert c.run(until=1.0) == 1.0
+        assert c.sim.now == 1.0
+
+    def test_report_empty(self):
+        c = Cluster()
+        report = c.report()
+        assert report.messages == 0
+        assert report.throughput == 0.0

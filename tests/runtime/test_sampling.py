@@ -1,0 +1,98 @@
+"""Tests for the periodic cluster sampler."""
+
+import pytest
+
+from repro.middleware import StreamApp
+from repro.runtime import Cluster, PeriodicSampler, run_session
+from repro.util.errors import ConfigurationError
+from repro.util.units import us
+
+
+def loaded_cluster():
+    cluster = Cluster(seed=6)
+    apps = [
+        StreamApp(size=2048, count=50, interval=2 * us, name=f"s{i}")
+        for i in range(4)
+    ]
+    return cluster, apps
+
+
+class TestSampling:
+    def test_collects_samples_at_interval(self):
+        cluster, apps = loaded_cluster()
+        sampler = PeriodicSampler(cluster, interval=10 * us)
+        run_session(cluster, [a.install for a in apps])
+        assert len(sampler.samples) >= 5
+        gaps = [
+            b - a for a, b in zip(sampler.times[:-1], sampler.times[1:])
+        ]
+        assert all(abs(g - 10 * us) < 1e-12 for g in gaps)
+
+    def test_backlog_series_sees_queueing(self):
+        cluster, apps = loaded_cluster()
+        sampler = PeriodicSampler(cluster, interval=5 * us)
+        run_session(cluster, [a.install for a in apps])
+        time, peak = sampler.peak_backlog()
+        assert peak > 0
+        assert time >= 0
+        # Backlog eventually drains to zero.
+        assert sampler.samples[-1].backlog == 0
+
+    def test_stops_when_quiescent(self):
+        """run_until_idle must terminate despite the self-rescheduling
+        sampler (auto-stop on quiescence)."""
+        cluster, apps = loaded_cluster()
+        PeriodicSampler(cluster, interval=10 * us)
+        final = run_session(cluster, [a.install for a in apps])
+        assert final.messages == 200  # drained, no livelock
+
+    def test_horizon_bounds_sampling(self):
+        cluster, apps = loaded_cluster()
+        sampler = PeriodicSampler(cluster, interval=10 * us, horizon=50 * us)
+        run_session(cluster, [a.install for a in apps])
+        assert all(s.time <= 50 * us for s in sampler.samples)
+
+    def test_messages_completed_monotone(self):
+        cluster, apps = loaded_cluster()
+        sampler = PeriodicSampler(cluster, interval=10 * us)
+        run_session(cluster, [a.install for a in apps])
+        completed = sampler.series("messages_completed")
+        assert all(b >= a for a, b in zip(completed[:-1], completed[1:]))
+        assert completed[-1] == 200
+
+    def test_utilization_between(self):
+        cluster, apps = loaded_cluster()
+        sampler = PeriodicSampler(cluster, interval=10 * us)
+        run_session(cluster, [a.install for a in apps])
+        times = sampler.times
+        utilization = sampler.utilization_between(times[0], times[3])
+        assert 0.0 < utilization <= 1.0
+
+
+class TestValidation:
+    def test_interval_positive(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(Cluster(), interval=0.0)
+
+    def test_horizon_positive(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(Cluster(), interval=1e-6, horizon=-1.0)
+
+    def test_unknown_field(self):
+        cluster = Cluster()
+        sampler = PeriodicSampler(cluster, interval=1e-6, horizon=1e-5)
+        cluster.run(until=1e-5)
+        with pytest.raises(ConfigurationError):
+            sampler.series("bogus")
+
+    def test_peak_requires_samples(self):
+        sampler = PeriodicSampler(Cluster(), interval=1e-6, horizon=1e-6)
+        with pytest.raises(ConfigurationError):
+            sampler.peak_backlog()
+
+    def test_bad_window(self):
+        cluster, apps = loaded_cluster()
+        sampler = PeriodicSampler(cluster, interval=10 * us)
+        run_session(cluster, [a.install for a in apps])
+        with pytest.raises(ConfigurationError):
+            sampler.utilization_between(1.0, 0.5)

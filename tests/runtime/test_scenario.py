@@ -1,0 +1,200 @@
+"""Tests for declarative scenarios and the top-level CLI."""
+
+import json
+
+import pytest
+
+from repro.runtime.scenario import (
+    APP_TYPES,
+    POLICY_TYPES,
+    build_scenario,
+    load_scenario_file,
+    run_scenario,
+)
+from repro.util.errors import ConfigurationError
+
+
+def minimal_scenario(**overrides):
+    scenario = {
+        "cluster": {"n_nodes": 2, "seed": 1},
+        "workloads": [
+            {"app": "stream", "src": "n0", "dst": "n1", "size": 256, "count": 20}
+        ],
+    }
+    scenario.update(overrides)
+    return scenario
+
+
+class TestBuildScenario:
+    def test_minimal(self):
+        cluster, apps = build_scenario(minimal_scenario())
+        assert cluster.node_names == ["n0", "n1"]
+        assert len(apps) == 1
+
+    def test_all_registered_apps_buildable(self):
+        pair_params = {
+            "pingpong": {"count": 2},
+            "stream": {"count": 2},
+            "rpc": {"calls": 2},
+            "dsm": {"faults": 2},
+            "global_arrays": {"operations": 2},
+            "control": {"count": 2},
+        }
+        group_params = {
+            "broadcast": {"rounds": 1},
+            "barrier": {"rounds": 1},
+            "allreduce": {"rounds": 1},
+            "halo": {"iterations": 1},
+        }
+        workloads = [
+            {"app": name, "src": "n0", "dst": "n1", **params}
+            for name, params in pair_params.items()
+        ] + [
+            {"app": name, "nodes": ["n0", "n1"], **params}
+            for name, params in group_params.items()
+        ]
+        assert {w["app"] for w in workloads} == set(APP_TYPES)
+        cluster, apps = build_scenario(
+            {"cluster": {"n_nodes": 2}, "workloads": workloads}
+        )
+        assert len(apps) == len(APP_TYPES)
+
+    def test_policies_resolvable(self):
+        for name in POLICY_TYPES:
+            cluster, _ = build_scenario(
+                minimal_scenario(cluster={"n_nodes": 2, "policy": name})
+            )
+            assert cluster is not None
+
+    def test_engine_config_parsed(self):
+        cluster, _ = build_scenario(
+            minimal_scenario(
+                cluster={"n_nodes": 2, "config": {"lookahead_window": 5}}
+            )
+        )
+        assert cluster.engine("n0").config.lookahead_window == 5
+
+    def test_traffic_class_parsed(self):
+        from repro.network.virtual import TrafficClass
+
+        scenario = minimal_scenario()
+        scenario["workloads"][0]["traffic_class"] = "bulk"
+        _, apps = build_scenario(scenario)
+        assert apps[0].traffic_class is TrafficClass.BULK
+
+    def test_networks_parsed(self):
+        cluster, _ = build_scenario(
+            minimal_scenario(cluster={"n_nodes": 2, "networks": [["mx", 2]]})
+        )
+        assert len(cluster.fabric.node("n0").nics) == 2
+
+
+class TestValidation:
+    def test_unknown_app(self):
+        with pytest.raises(ConfigurationError, match="unknown app"):
+            build_scenario(minimal_scenario(workloads=[{"app": "nope"}]))
+
+    def test_missing_app_key(self):
+        with pytest.raises(ConfigurationError, match="missing 'app'"):
+            build_scenario(minimal_scenario(workloads=[{"src": "n0"}]))
+
+    def test_missing_endpoints(self):
+        with pytest.raises(ConfigurationError, match="endpoint"):
+            build_scenario(minimal_scenario(workloads=[{"app": "pingpong"}]))
+
+    def test_bad_param(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario(
+                minimal_scenario(
+                    workloads=[
+                        {"app": "stream", "src": "n0", "dst": "n1", "bogus": 1}
+                    ]
+                )
+            )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            build_scenario(minimal_scenario(cluster={"policy": "nope"}))
+
+    def test_unknown_traffic_class(self):
+        scenario = minimal_scenario()
+        scenario["workloads"][0]["traffic_class"] = "vip"
+        with pytest.raises(ConfigurationError, match="traffic class"):
+            build_scenario(scenario)
+
+    def test_no_workloads(self):
+        with pytest.raises(ConfigurationError, match="no workloads"):
+            build_scenario({"cluster": {"n_nodes": 2}, "workloads": []})
+
+    def test_bad_config_key(self):
+        with pytest.raises(ConfigurationError, match="engine config"):
+            build_scenario(
+                minimal_scenario(cluster={"config": {"warp_speed": 9}})
+            )
+
+
+class TestRunScenario:
+    def test_runs_to_completion(self):
+        report, cluster, apps = run_scenario(minimal_scenario())
+        assert report.messages == 20
+        assert all(app.done.done for app in apps)
+
+    def test_until_window(self):
+        scenario = minimal_scenario(run={"until": 1e-5})
+        report, cluster, _ = run_scenario(scenario)
+        assert cluster.sim.now == 1e-5
+
+
+class TestScenarioFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario()))
+        report, _, _ = run_scenario(load_scenario_file(path))
+        assert report.messages == 20
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_scenario_file(path)
+
+
+class TestTopLevelCli:
+    def test_info(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "strategies" in out and "E10" in out
+
+    def test_run(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario()))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "messages completed   : 20" in out
+
+    def test_run_histogram_flag(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario()))
+        assert main(["run", str(path), "--histogram"]) == 0
+        out = capsys.readouterr().out
+        assert "latency histogram" in out
+        assert "#" in out
+
+    def test_run_incomplete_warns(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        # A closed-loop app cannot finish inside a 0.1 us window.
+        scenario = minimal_scenario(
+            workloads=[{"app": "pingpong", "src": "n0", "dst": "n1", "count": 50}],
+            run={"until": 1e-7},
+        )
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["run", str(path)]) == 1
+        assert "WARNING" in capsys.readouterr().out

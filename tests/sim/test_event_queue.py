@@ -1,0 +1,85 @@
+"""Tests for the event queue: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.event import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, fired.append, ("c",))
+        q.push(1.0, fired.append, ("a",))
+        q.push(2.0, fired.append, ("b",))
+        while (e := q.pop()) is not None:
+            e.fn(*e.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(1.0, order.append, (i,))
+        while (e := q.pop()) is not None:
+            e.fn(*e.args)
+        assert order == list(range(10))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_pop_sequence_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while (e := q.pop()) is not None:
+            popped.append(e.time)
+        assert popped == sorted(times)
+        assert len(popped) == len(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, fired.append, (1,))
+        q.push(2.0, fired.append, (2,))
+        ev.cancel()
+        q.note_cancelled()
+        while (e := q.pop()) is not None:
+            e.fn(*e.args)
+        assert fired == [2]
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+        assert not q
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        ev.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty(self):
+        assert EventQueue().pop() is None
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()  # no error
+        assert ev.cancelled

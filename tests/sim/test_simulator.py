@@ -1,0 +1,153 @@
+"""Tests for the Simulator run loop."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.util.errors import SimulationError
+
+
+class TestClockAndScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+        assert sim.now == 1.5
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        hits = []
+        sim.at(2.0, hits.append, "x")
+        sim.run()
+        assert hits == ["x"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_zero_delay_fifo_after_current(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("a"), sim.schedule(0.0, log.append, "c")))
+        sim.schedule(1.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestRunLimits:
+    def test_run_until_stops_clock_at_limit(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        final = sim.run(until=2.0)
+        assert final == 2.0
+        assert fired == []
+        # event still pending; continuing the run fires it
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_exact_boundary_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, 1)
+        sim.run(until=2.0)
+        assert fired == [1]
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=0.5)
+
+    def test_run_until_advances_clock_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_pending_events(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        assert sim.pending_events == 1
+        sim.cancel(ev)
+        assert sim.pending_events == 0
+
+    def test_cancel_twice_ok(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)
+        assert sim.pending_events == 0
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        failure = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                failure.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(failure) == 1
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run_until_idle() == 1.0
+
+    def test_run_until_idle_raises_on_runaway(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)

@@ -1,0 +1,95 @@
+"""Property tests for the simulation kernel under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@st.composite
+def schedule_ops(draw):
+    """A random sequence of schedule/cancel operations."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["schedule", "schedule", "schedule", "cancel"]))
+        delay = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+        ops.append((kind, delay))
+    return ops
+
+
+class TestKernelProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(ops=schedule_ops())
+    def test_dispatch_times_monotone(self, ops):
+        sim = Simulator()
+        fired = []
+        handles = []
+        for kind, delay in ops:
+            if kind == "schedule":
+                handles.append(sim.schedule(delay, lambda: fired.append(sim.now)))
+            elif handles:
+                sim.cancel(handles.pop())
+        sim.run()
+        assert fired == sorted(fired)
+        assert sim.pending_events == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=schedule_ops())
+    def test_cancelled_events_never_fire(self, ops):
+        sim = Simulator()
+        fired = []
+        cancelled_ids = set()
+        live = []
+        for i, (kind, delay) in enumerate(ops):
+            if kind == "schedule":
+                live.append((i, sim.schedule(delay, lambda i=i: fired.append(i))))
+            elif live:
+                event_id, handle = live.pop()
+                sim.cancel(handle)
+                cancelled_ids.add(event_id)
+        sim.run()
+        assert not (set(fired) & cancelled_ids)
+        assert sorted(fired) == sorted(i for i, _ in live)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_nested_scheduling_is_causal(self, delays):
+        """Events scheduled from inside handlers never fire in the past."""
+        sim = Simulator()
+        observed = []
+        remaining = list(delays)
+
+        def handler():
+            observed.append(sim.now)
+            if remaining:
+                sim.schedule(remaining.pop(), handler)
+
+        sim.schedule(remaining.pop(), handler)
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        until=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_run_until_fires_exactly_the_due_events(self, until, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=until)
+        assert sorted(fired) == sorted(d for d in delays if d <= until)
+        assert sim.now == until or (not fired and sim.now == until)

@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example must run clean.
+
+The examples are a deliverable; running them in-process (monkeypatched
+``__main__``-style) keeps them from rotting as the API evolves.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLE_SCRIPTS}
+        assert {"quickstart.py", "middleware_mix.py", "heterogeneous_rails.py"} <= names
+        assert len(EXAMPLE_SCRIPTS) >= 3
+
+    @pytest.mark.parametrize(
+        "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+    )
+    def test_example_runs(self, script, capsys):
+        runpy.run_path(str(script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{script.name} produced no output"
+
+    def test_scenario_file_valid(self):
+        from repro.runtime.scenario import build_scenario, load_scenario_file
+
+        scenario = load_scenario_file(EXAMPLES_DIR / "scenario_mixed.json")
+        cluster, apps = build_scenario(scenario)
+        assert len(apps) >= 5
+
+    def test_quickstart_via_subprocess(self):
+        """One example through a real interpreter (import paths, shebang)."""
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "aggregation ratio" in result.stdout

@@ -1,0 +1,106 @@
+"""Tests for timeline reconstruction and Gantt rendering."""
+
+import pytest
+
+from repro.runtime import Cluster
+from repro.util.errors import ConfigurationError
+from repro.util.timeline import Interval, Timeline
+from repro.util.tracing import TraceRecorder
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 3.0, "x").duration == 2.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Interval(3.0, 1.0, "x")
+
+
+class TestTimelineConstruction:
+    def test_add_and_query(self):
+        t = Timeline()
+        t.add("nic0", Interval(0.0, 1.0, "eager"))
+        t.add("nic0", Interval(2.0, 3.0, "rdv"))
+        assert len(t.intervals("nic0")) == 2
+        assert t.intervals("missing") == []
+        assert t.span == (0.0, 3.0)
+
+    def test_overlap_rejected(self):
+        t = Timeline()
+        t.add("nic0", Interval(0.0, 2.0, "a"))
+        with pytest.raises(ConfigurationError):
+            t.add("nic0", Interval(1.0, 3.0, "b"))
+
+    def test_busy_fraction(self):
+        t = Timeline()
+        t.add("a", Interval(0.0, 1.0, "x"))
+        t.add("b", Interval(0.0, 4.0, "y"))
+        assert t.busy_fraction("a") == pytest.approx(0.25)
+        assert t.busy_fraction("b") == pytest.approx(1.0)
+        assert t.busy_fraction("missing") == 0.0
+
+    def test_empty_span(self):
+        assert Timeline().span == (0.0, 0.0)
+        assert Timeline().busy_fraction("x") == 0.0
+
+
+class TestFromTrace:
+    def make_trace(self):
+        tracer = TraceRecorder()
+        cluster = Cluster(tracer=tracer, seed=1)
+        api = cluster.api("n0")
+        flow = api.open_flow("n1")
+        for _ in range(5):
+            api.send(flow, 2048)
+        cluster.run_until_idle()
+        return tracer
+
+    def test_nic_intervals_reconstructed(self):
+        timeline = Timeline.from_trace(self.make_trace())
+        lanes = timeline.lanes
+        assert any("nic" in lane for lane in lanes)
+        nic_lane = lanes[0]
+        intervals = timeline.intervals(nic_lane)
+        assert intervals
+        for interval in intervals:
+            assert interval.duration > 0
+            assert interval.label == "eager"
+
+    def test_busy_fraction_positive(self):
+        timeline = Timeline.from_trace(self.make_trace())
+        assert timeline.busy_fraction(timeline.lanes[0]) > 0
+
+    def test_empty_trace(self):
+        timeline = Timeline.from_trace(TraceRecorder())
+        assert timeline.lanes == []
+
+
+class TestRendering:
+    def test_render_contains_lanes_and_marks(self):
+        t = Timeline()
+        t.add("nic0", Interval(0.0, 1.0, "x"))
+        t.add("nic1", Interval(1.0, 2.0, "y"))
+        rendered = t.render(width=40)
+        assert "nic0" in rendered and "nic1" in rendered
+        assert "#" in rendered
+
+    def test_render_empty(self):
+        assert Timeline().render() == "(empty timeline)"
+
+    def test_width_validation(self):
+        t = Timeline()
+        t.add("a", Interval(0.0, 1.0, "x"))
+        with pytest.raises(ConfigurationError):
+            t.render(width=3)
+
+    def test_render_real_cluster(self):
+        tracer = TraceRecorder()
+        cluster = Cluster(networks=[("mx", 2)], tracer=tracer, seed=2)
+        api = cluster.api("n0")
+        flow = api.open_flow("n1")
+        for _ in range(10):
+            api.send(flow, 4096)
+        cluster.run_until_idle()
+        rendered = Timeline.from_trace(tracer).render()
+        assert rendered.count("|") >= 4  # at least two lanes

@@ -1,0 +1,93 @@
+"""Tests for repro.util.tracing."""
+
+from repro.util.tracing import NullTracer, TraceRecorder, Tracer
+
+
+class TestTraceRecorder:
+    def test_records_events_in_order(self):
+        t = TraceRecorder()
+        t.emit(0.0, "nic:0", "nic.start", size=10)
+        t.emit(1.0, "nic:0", "nic.idle")
+        assert [e.kind for e in t.events] == ["nic.start", "nic.idle"]
+        assert t.events[0].detail == {"size": 10}
+        assert t.events[1].time == 1.0
+
+    def test_of_kind_filters(self):
+        t = TraceRecorder()
+        t.emit(0.0, "a", "x")
+        t.emit(0.0, "a", "y")
+        t.emit(0.0, "b", "x")
+        assert len(t.of_kind("x")) == 2
+        assert len(t.of_kind("z")) == 0
+
+    def test_kinds_iterator(self):
+        t = TraceRecorder()
+        t.emit(0.0, "a", "x")
+        t.emit(0.0, "a", "x")
+        assert list(t.kinds()) == ["x", "x"]
+
+    def test_clear_and_len(self):
+        t = TraceRecorder()
+        t.emit(0.0, "a", "x")
+        assert len(t) == 1
+        t.clear()
+        assert len(t) == 0
+
+    def test_always_enabled(self):
+        assert TraceRecorder().enabled
+
+
+class TestNullTracer:
+    def test_discards(self):
+        t = NullTracer()
+        t.emit(0.0, "a", "x")
+        assert not t.enabled
+
+    def test_subscriber_still_fires(self):
+        t = NullTracer()
+        seen = []
+        t.subscribe(seen.append)
+        assert t.enabled
+        t.emit(0.5, "a", "x", k=1)
+        assert len(seen) == 1
+        assert seen[0].detail == {"k": 1}
+
+
+class TestJsonExport:
+    def test_to_jsonl_roundtrip(self):
+        import json
+
+        t = TraceRecorder()
+        t.emit(1.5, "nic:0", "nic.send", bytes=128, dst="n1")
+        t.emit(2.0, "nic:0", "nic.idle")
+        lines = t.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "time": 1.5,
+            "source": "nic:0",
+            "kind": "nic.send",
+            "bytes": 128,
+            "dst": "n1",
+        }
+
+    def test_non_json_values_coerced(self):
+        import json
+
+        t = TraceRecorder()
+        t.emit(0.0, "a", "k", obj={"nested": 1})
+        parsed = json.loads(t.to_jsonl())
+        assert isinstance(parsed["obj"], str)
+
+    def test_empty(self):
+        assert TraceRecorder().to_jsonl() == ""
+
+
+class TestTracerFanOut:
+    def test_multiple_subscribers(self):
+        t = Tracer()
+        a, b = [], []
+        t.subscribe(a.append)
+        t.subscribe(b.append)
+        t.emit(0.0, "s", "k")
+        assert len(a) == len(b) == 1
