@@ -38,6 +38,8 @@ from repro.core.engine import OptimizingEngine
 from repro.core.strategies import make_strategy, register_strategy
 from repro.madeleine.api import MadAPI, PackingSession
 from repro.madeleine.message import Flow, Fragment, Message, PackMode
+from repro.network.faults import FaultPlane, FaultSpec, RailOutage
+from repro.network.reliable import ReliabilityConfig, ReliableTransport
 from repro.network.virtual import TrafficClass
 from repro.runtime.cluster import Cluster
 from repro.runtime.metrics import SessionReport
@@ -49,6 +51,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Cluster",
     "EngineConfig",
+    "FaultPlane",
+    "FaultSpec",
     "Flow",
     "Fragment",
     "LegacyEngine",
@@ -59,6 +63,9 @@ __all__ = [
     "PackMode",
     "PackingSession",
     "PooledChannels",
+    "RailOutage",
+    "ReliabilityConfig",
+    "ReliableTransport",
     "SessionReport",
     "Simulator",
     "TrafficClass",

@@ -31,11 +31,48 @@ def _cmd_info(_args) -> int:
     return 0
 
 
+def _parse_faults_arg(value: str) -> dict | None:
+    """Parse the ``--faults`` override: ``off`` or ``key=val,key=val``.
+
+    Values parse as floats; ``drop=0.05,jitter=1e-6`` is the typical
+    shape.  Nested blocks (outages, per-NIC overrides) stay in the
+    scenario file — the CLI knob covers the scalar lotteries plus
+    ``seed``.
+    """
+    from repro.util.errors import ConfigurationError
+
+    if value == "off":
+        return None
+    faults: dict = {}
+    for pair in value.split(","):
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--faults expects 'off' or key=val[,key=val...], got {value!r}"
+            )
+        try:
+            faults[key] = int(raw) if key == "seed" else float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"--faults value for {key!r} is not a number: {raw!r}"
+            ) from None
+    return faults
+
+
 def _cmd_run(args) -> int:
     from repro.network.virtual import TrafficClass
     from repro.runtime.scenario import load_scenario_file, run_scenario
 
     scenario = load_scenario_file(args.scenario)
+    if args.faults is not None:
+        override = _parse_faults_arg(args.faults)
+        if override is None:
+            scenario.pop("faults", None)
+        else:
+            merged = dict(scenario.get("faults", {}))
+            merged.update(override)
+            scenario["faults"] = merged
     report, cluster, apps = run_scenario(scenario)
     name = scenario.get("name", args.scenario)
     print(f"== scenario: {name} ==")
@@ -48,6 +85,13 @@ def _cmd_run(args) -> int:
     print(f"network transactions : {report.network_transactions}")
     print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
     print(f"rendezvous transfers : {report.rdv_count}")
+    if cluster.fault_plane is not None:
+        print(f"packets dropped      : {report.packets_dropped}")
+        print(f"packets corrupted    : {report.packets_corrupted}")
+        print(f"packets duplicated   : {report.packets_duplicated}")
+        print(f"retransmits          : {report.retransmits}")
+        print(f"failovers            : {report.failovers}")
+        print(f"rdv timeouts         : {report.rdv_timeouts}")
     if report.latency_by_class:
         print("per-class mean latency:")
         for traffic_class in TrafficClass:
@@ -93,6 +137,14 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("scenario", help="path to a scenario JSON file")
     run_parser.add_argument(
         "--histogram", action="store_true", help="show the latency histogram"
+    )
+    run_parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "override the scenario's faults block: 'off' to disable, or "
+            "key=val pairs, e.g. --faults drop=0.05,duplicate=0.01,seed=7"
+        ),
     )
     run_parser.set_defaults(func=_cmd_run)
 

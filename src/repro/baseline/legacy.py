@@ -98,6 +98,15 @@ class LegacyEngine(CommEngineBase):
         super().park_for_rendezvous(entry, channel_id)
         self.blocked_channels[channel_id] = entry
 
+    def _rendezvous_abandoned(self, entry: SubmitEntry, channel_id: int) -> None:
+        """An abandoned handshake must also unstall its channel.
+
+        The entry goes back to eager transmission, so leaving the stall
+        in place would filter it out (``protocol_only``) forever.
+        """
+        if self.blocked_channels.get(channel_id) is entry:
+            del self.blocked_channels[channel_id]
+
     # Legacy activation: pump on every submission *and* on NIC idle
     # (the NIC-idle drain exists in any library; what legacy lacks is
     # the optimization the backlog could have enabled).

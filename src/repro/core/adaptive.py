@@ -119,6 +119,22 @@ class AdaptiveChannels(ChannelPolicy):
         if self._dispatches_in_window >= self.window_dispatches:
             self._adapt()
 
+    def note_rail_event(self, engine, nic, up: bool) -> None:
+        """Collapse onto the shared channel when a rail dies.
+
+        Losing a NIC shrinks the serviceable multiplexing capacity;
+        folding every dedicated class back into the shared channel lets
+        the surviving rails drain one queue under class priorities
+        instead of starving per-class channels the dead rail may have
+        been serving (under static rail binding).  Classes re-earn their
+        dedicated channels through the normal promotion path once
+        traffic proves they still interfere.
+        """
+        if up:
+            return
+        for traffic_class in list(self._dedicated):
+            self._demote(traffic_class)
+
     # ------------------------------------------------------------------
     # adaptation
     # ------------------------------------------------------------------

@@ -66,6 +66,15 @@ class ChannelPolicy(abc.ABC):
         entries (``engine.reassign_class``); the default keeps nothing.
         """
 
+    def note_rail_event(self, engine, nic, up: bool) -> None:
+        """Feedback hook: a rail went down (``up=False``) or came back.
+
+        Policies that dedicate channels to rails or classes override
+        this to rebalance the assignment (multirail failover, paper §2's
+        dynamic resource re-assignment); the default is a no-op — with
+        pooled service the surviving NICs drain every queue anyway.
+        """
+
 
 class PooledChannels(ChannelPolicy):
     """Class-based pooling: one channel per traffic class, priority service.

@@ -51,6 +51,12 @@ class EngineConfig:
         (``MadAPI.post_receive``) — the flow-controlled Madeleine
         semantics.  Default false: the receiver acknowledges after its
         pinning delay (anonymous pre-posted buffers).
+    rdv_timeout:
+        Seconds a parked rendezvous entry waits for its acknowledgement
+        before abandoning the handshake and falling back to eager/split
+        transmission (graceful degradation on a faulty fabric).
+        ``None`` (default) waits forever — the lossless-network
+        behaviour.
     validate_plans:
         Run the :class:`~repro.core.constraints.ConstraintChecker` on
         every dispatched plan (cheap; keep on outside hot benchmarks).
@@ -63,6 +69,7 @@ class EngineConfig:
     search_budget: int = 32
     rail_binding: str = "pooled"
     rdv_requires_recv: bool = False
+    rdv_timeout: float | None = None
     validate_plans: bool = True
 
     def __post_init__(self) -> None:
@@ -87,4 +94,8 @@ class EngineConfig:
         if self.rail_binding not in RAIL_BINDINGS:
             raise ConfigurationError(
                 f"rail_binding must be one of {RAIL_BINDINGS}, got {self.rail_binding!r}"
+            )
+        if self.rdv_timeout is not None and self.rdv_timeout <= 0:
+            raise ConfigurationError(
+                f"rdv_timeout must be > 0 or None, got {self.rdv_timeout}"
             )

@@ -59,7 +59,9 @@ class EngineStats:
     holds: int = 0
     rdv_parked: int = 0
     rdv_ready: int = 0
+    rdv_timeouts: int = 0
     acks_sent: int = 0
+    failovers: int = 0
 
     def note_activation(self, trigger: str) -> None:
         """Count one optimizer activation by its trigger kind."""
@@ -109,6 +111,8 @@ class CommEngineBase:
 
         self._driver_index = {id(d): i for i, d in enumerate(self.drivers)}
         self._rdv_pending: dict[int, tuple[SubmitEntry, int]] = {}
+        self._rdv_timers: dict[int, Event] = {}
+        self._rdv_abandoned: set[int] = set()
         self._recv_credits: dict[int | None, int] = {}
         self._deferred_reqs: dict[int | None, list[WirePacket]] = {}
         self._granted_messages: set[int] = set()
@@ -122,6 +126,8 @@ class CommEngineBase:
         self.policy.bind(self)
         for driver in self.drivers:
             driver.nic.on_idle(self._nic_idle)
+            driver.nic.on_fail(self._nic_failed)
+            driver.nic.on_recover(self._nic_recovered)
         node.receiver.register_control_handler(PacketKind.RDV_REQ, self._handle_rdv_req)
         node.receiver.register_control_handler(PacketKind.RDV_ACK, self._handle_rdv_ack)
 
@@ -171,14 +177,54 @@ class CommEngineBase:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # rail outages (multirail failover)
+    # ------------------------------------------------------------------
+    def _nic_failed(self, nic) -> None:
+        """A rail went down: re-route its traffic onto the survivors.
+
+        With pooled binding nothing needs migrating — the surviving NICs
+        already drain every queue; with static binding ``queues_for``
+        remaps the dead rail's channels onto the alive drivers.  Either
+        way the policy gets a chance to rebalance and the survivors are
+        kicked so backlog bound for the dead rail starts moving now
+        rather than at their next natural idle transition.
+        """
+        self.stats.failovers += 1
+        self.policy.note_rail_event(self, nic, up=False)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now,
+                f"engine:{self.node_name}",
+                "engine.failover",
+                nic=nic.name,
+                survivors=sum(1 for d in self.drivers if not d.nic.failed),
+            )
+        self._kick("rail-down")
+
+    def _nic_recovered(self, nic) -> None:
+        """A rail came back: let the policy rebalance and resume on it."""
+        self.policy.note_rail_event(self, nic, up=True)
+        self._kick("rail-up")
+
+    # ------------------------------------------------------------------
     # the dispatch loop
     # ------------------------------------------------------------------
     def queues_for(self, driver: Driver) -> list[ChannelQueue]:
-        """Non-empty channel queues this driver may serve, in service order."""
+        """Non-empty channel queues this driver may serve, in service order.
+
+        Static rail binding partitions channels over the *alive* drivers
+        only: when a rail dies its channels remap onto the survivors
+        (multirail failover), and with every rail up the mapping is the
+        original ``channel_id % n_drivers`` partition.
+        """
         queues = list(self.waiting.non_empty())
         if self.config.rail_binding == "static" and len(self.drivers) > 1:
-            index = self._driver_index[id(driver)]
-            n = len(self.drivers)
+            alive = [d for d in self.drivers if not d.nic.failed]
+            if driver.nic.failed or not alive:
+                return []
+            n = len(alive)
+            index = alive.index(driver)
             queues = [q for q in queues if q.channel_id % n == index]
         return self.policy.service_order(queues)
 
@@ -321,6 +367,10 @@ class CommEngineBase:
         )
         self._enqueue(request)
         self.stats.rdv_parked += 1
+        if self.config.rdv_timeout is not None:
+            self._rdv_timers[token] = self.sim.schedule(
+                self.config.rdv_timeout, self._rdv_timeout, token
+            )
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.emit(
@@ -407,7 +457,14 @@ class CommEngineBase:
         try:
             entry, channel_id = self._rdv_pending.pop(token)
         except KeyError:
+            if token in self._rdv_abandoned:
+                # The handshake timed out and the entry already fell back
+                # to eager transmission; a late ACK is stale, not a bug.
+                return
             raise ProtocolError(f"unmatched rendezvous ACK (token {token})") from None
+        timer = self._rdv_timers.pop(token, None)
+        if timer is not None:
+            self.sim.cancel(timer)
         entry.state = EntryState.RDV_READY
         self.waiting.enqueue(entry, channel_id)
         self.stats.rdv_ready += 1
@@ -421,6 +478,46 @@ class CommEngineBase:
                 token=token,
             )
         self._kick("rdv-ready")
+
+    def _rdv_timeout(self, token: int) -> None:
+        """Abandon a rendezvous handshake whose ACK never came.
+
+        The parked entry re-enters its waiting list marked ``no_rdv``, so
+        strategies chunk it into eager packets instead of re-parking it —
+        slower than zero-copy bulk, but it keeps the message moving on a
+        fabric that is losing control packets (graceful degradation
+        instead of a hang).
+        """
+        pending = self._rdv_pending.pop(token, None)
+        self._rdv_timers.pop(token, None)
+        if pending is None:
+            return  # ACK won the race with the timer
+        entry, channel_id = pending
+        self._rdv_abandoned.add(token)
+        entry.state = EntryState.WAITING
+        entry.meta["no_rdv"] = True
+        self.waiting.enqueue(entry, channel_id)
+        self.stats.rdv_timeouts += 1
+        self._rendezvous_abandoned(entry, channel_id)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now,
+                f"engine:{self.node_name}",
+                "rdv.timeout",
+                entry=entry.entry_id,
+                token=token,
+                bytes=entry.remaining,
+            )
+        self._kick("rdv-timeout")
+
+    def _rendezvous_abandoned(self, entry: SubmitEntry, channel_id: int) -> None:
+        """Subclass hook: a parked rendezvous fell back to eager.
+
+        The base engine needs no extra bookkeeping; engines that block
+        channels behind a handshake (the Madeleine-3 baseline) override
+        this to unblock them.
+        """
 
     def _kick(self, trigger: str) -> None:
         """Pump if any NIC can take work right now."""

@@ -47,6 +47,7 @@ def park_oversized(engine: "CommEngineBase", driver: Driver, queue: ChannelQueue
         if (
             entry.kind is EntryKind.DATA
             and entry.state is EntryState.WAITING
+            and not entry.meta.get("no_rdv")
             and driver.wants_rendezvous(entry.remaining)
             and driver.nic.reaches(entry.dst)
         ):
@@ -139,8 +140,11 @@ def build_from_queue(
             # it is not a reordering, so it must not block later picks.
             continue
 
-        # Oversized data must negotiate a rendezvous first.
-        if driver.wants_rendezvous(entry.remaining):
+        # Oversized data must negotiate a rendezvous first — unless the
+        # handshake already timed out (``no_rdv``): then the entry is
+        # chunked into eager packets below, like on a rendezvous-less
+        # driver.
+        if driver.wants_rendezvous(entry.remaining) and not entry.meta.get("no_rdv"):
             if allow_park:
                 # Parked out of band (removed from the queue); later
                 # same-flow eager entries may proceed — the documented

@@ -14,13 +14,19 @@ This package models the *transfer layer* of Figure 1 of the paper:
 * :mod:`~repro.network.fabric` — nodes, networks, and all-to-all
   connectivity;
 * :mod:`~repro.network.receiver` — receiver-side demultiplexing and
-  control-packet dispatch.
+  control-packet dispatch;
+* :mod:`~repro.network.faults` — seeded fault injection (drop, corrupt,
+  duplicate, jitter, rail outages);
+* :mod:`~repro.network.reliable` — ACK/retransmit reliability protocol
+  with dedup, reordering repair, and multirail failover.
 """
 
 from repro.network.fabric import Fabric, Network, Node
+from repro.network.faults import FaultPlane, FaultSpec, FaultVerdict, RailOutage
 from repro.network.model import LinkModel, TransferMode
 from repro.network.nic import NIC, NicStats
 from repro.network.receiver import Receiver
+from repro.network.reliable import ReliabilityConfig, ReliableTransport, TransportStats
 from repro.network.technologies import (
     TECHNOLOGIES,
     gige_tcp,
@@ -35,14 +41,21 @@ __all__ = [
     "Channel",
     "ChannelPool",
     "Fabric",
+    "FaultPlane",
+    "FaultSpec",
+    "FaultVerdict",
     "LinkModel",
     "NIC",
     "Network",
     "NicStats",
     "Node",
     "PacketKind",
+    "RailOutage",
     "Receiver",
+    "ReliabilityConfig",
+    "ReliableTransport",
     "TECHNOLOGIES",
+    "TransportStats",
     "TrafficClass",
     "TransferMode",
     "WirePacket",

@@ -14,17 +14,31 @@ the destination node ``one_way`` seconds after the request started.
 Receive-side NIC occupancy is folded into the model's ``rx_overhead``
 (the engine under study only schedules the send side — documented
 simplification, DESIGN.md §6).
+
+Fault model (:mod:`repro.network.faults`): a NIC may additionally be
+**failed** — a rail outage.  A failed NIC accepts no requests and never
+reports idle; a request in flight when the outage hits completes (the
+packet already left for the switch), but the idle transition is
+suppressed so the rail stays dark until :meth:`NIC.recover`.  Engines
+subscribe to :meth:`NIC.on_fail` / :meth:`NIC.on_recover` to re-route
+traffic (multirail failover).  When a
+:class:`~repro.network.reliable.ReliableTransport` is installed on
+``NIC.transport``, delivery is routed through it (fault lottery,
+sequencing, retransmission) instead of going straight to the fabric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.network.model import LinkModel
 from repro.network.wire import WirePacket
 from repro.sim.engine import Simulator
 from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.reliable import ReliableTransport
 
 __all__ = ["NIC", "NicStats"]
 
@@ -40,6 +54,12 @@ class NicStats:
     host_time: float = 0.0
     segments: int = 0
     kind_counts: dict[str, int] = field(default_factory=dict)
+    #: Fault-plane outcomes attributed to this (sending) NIC.
+    drops: int = 0
+    corruptions: int = 0
+    duplicates: int = 0
+    retransmits: int = 0
+    failures: int = 0  #: rail outages (``fail()`` transitions)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` the NIC spent busy (0 when elapsed=0)."""
@@ -71,10 +91,15 @@ class NIC:
         self.link = link
         self._deliver = deliver
         self._busy = False
+        self._failed = False
         self._idle_subscribers: list[Callable[["NIC"], None]] = []
+        self._fail_subscribers: list[Callable[["NIC"], None]] = []
+        self._recover_subscribers: list[Callable[["NIC"], None]] = []
         self.stats = NicStats()
         #: Set by Network.attach; None for NICs built outside a fabric.
         self.network = None
+        #: Reliability layer routing this NIC's deliveries; None = direct.
+        self.transport: "ReliableTransport | None" = None
 
     def reaches(self, node_name: str) -> bool:
         """Whether this NIC's network connects to ``node_name``.
@@ -91,11 +116,59 @@ class NIC:
     @property
     def idle(self) -> bool:
         """True when the NIC can accept a request right now."""
-        return not self._busy
+        return not self._busy and not self._failed
+
+    @property
+    def failed(self) -> bool:
+        """True while a rail outage holds this NIC down."""
+        return self._failed
 
     def on_idle(self, callback: Callable[["NIC"], None]) -> None:
         """Subscribe to idle transitions (the optimizer's trigger)."""
         self._idle_subscribers.append(callback)
+
+    def on_fail(self, callback: Callable[["NIC"], None]) -> None:
+        """Subscribe to rail outages (the failover trigger)."""
+        self._fail_subscribers.append(callback)
+
+    def on_recover(self, callback: Callable[["NIC"], None]) -> None:
+        """Subscribe to rail recoveries."""
+        self._recover_subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # rail outages (driven by the fault plane, or directly in tests)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the rail down.  Idempotent.
+
+        A transfer already occupying the NIC completes — the packet has
+        been committed to the switch — but the idle transition that
+        would normally refill the NIC is suppressed.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        self.stats.failures += 1
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.emit(self._sim.now, f"nic:{self.name}", "nic.fail")
+        for callback in self._fail_subscribers:
+            callback(self)
+
+    def recover(self) -> None:
+        """Bring the rail back up.  Idempotent."""
+        if not self._failed:
+            return
+        self._failed = False
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.emit(self._sim.now, f"nic:{self.name}", "nic.recover")
+        for callback in self._recover_subscribers:
+            callback(self)
+            if self._busy or self._failed:
+                # A subscriber refilled (or re-failed) the NIC; later
+                # subscribers must not act on a stale notification.
+                break
 
     # ------------------------------------------------------------------
     # transfer
@@ -115,6 +188,8 @@ class NIC:
         computed by the driver so technology-specific policy stays out of
         the NIC.
         """
+        if self._failed:
+            raise SimulationError(f"NIC {self.name!r} submit while failed (rail outage)")
         if self._busy:
             raise SimulationError(f"NIC {self.name!r} submit while busy")
         if occupancy <= 0 or one_way < occupancy:
@@ -149,11 +224,18 @@ class NIC:
                 segments=packet.segment_count,
                 dst=packet.dst,
             )
-        self._sim.schedule(one_way, self._deliver, packet, occupancy)
+        if self.transport is not None:
+            self.transport.transmit(self, packet, one_way)
+        else:
+            self._sim.schedule(one_way, self._deliver, packet, occupancy)
         self._sim.schedule(occupancy, self._complete)
 
     def _complete(self) -> None:
         self._busy = False
+        if self._failed:
+            # Rail went down mid-transfer: the packet made it out, but
+            # the NIC must not advertise capacity it no longer has.
+            return
         tracer = self._sim.tracer
         if tracer.enabled:
             tracer.emit(self._sim.now, f"nic:{self.name}", "nic.idle")
@@ -165,5 +247,5 @@ class NIC:
                 break
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "idle" if self.idle else "busy"
+        state = "failed" if self._failed else ("idle" if self.idle else "busy")
         return f"NIC({self.name!r}, {self.link.name}, {state})"

@@ -9,6 +9,12 @@ incoming packets" role that channel assignment buys (paper §2).
 Payload reassembly is *not* done here; it belongs to
 :class:`repro.madeleine.rx.MessageReassembler`, which registers itself
 as a channel sink.
+
+When a :class:`~repro.network.reliable.ReliableTransport` is active it
+installs a *guard* (:meth:`Receiver.install_guard`) that intercepts
+arrivals before demultiplexing — deduplicating retransmissions and
+holding out-of-order packets in a reorder buffer — and feeds packets to
+:meth:`Receiver.dispatch` once they are clean and in sequence.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ class Receiver:
         self._sinks: dict[int, DataSink] = {}
         self._default_sink: DataSink | None = None
         self._control_handlers: dict[PacketKind, ControlHandler] = {}
+        self._guard: DataSink | None = None
         self.packets_received = 0
         self.bytes_received = 0
 
@@ -64,15 +71,36 @@ class Receiver:
             )
         self._control_handlers[kind] = handler
 
+    def install_guard(self, guard: DataSink) -> None:
+        """Interpose ``guard`` between arrival and demultiplexing.
+
+        The guard receives every packet addressed to this node and is
+        responsible for eventually calling :meth:`dispatch` (possibly
+        later, possibly never for duplicates).  At most one guard may be
+        installed per receiver.
+        """
+        if self._guard is not None:
+            raise ProtocolError(
+                f"node {self.node_name!r} already has a receive guard installed"
+            )
+        self._guard = guard
+
     # ------------------------------------------------------------------
     # delivery (called by the fabric at arrival time)
     # ------------------------------------------------------------------
     def deliver(self, packet: WirePacket) -> None:
-        """Dispatch one arrived packet to its sink or control handler."""
+        """Accept one arrived packet (guard first, then demultiplex)."""
         if packet.dst != self.node_name:
             raise ProtocolError(
                 f"packet for {packet.dst!r} delivered to node {self.node_name!r}"
             )
+        if self._guard is not None:
+            self._guard(packet)
+            return
+        self.dispatch(packet)
+
+    def dispatch(self, packet: WirePacket) -> None:
+        """Demultiplex one clean, in-sequence packet to its handler/sink."""
         self.packets_received += 1
         self.bytes_received += packet.payload_bytes
         tracer = self._sim.tracer

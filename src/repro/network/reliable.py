@@ -1,0 +1,368 @@
+"""Reliability protocol: ACK / timeout / retransmit over a faulty fabric.
+
+The base transfer layer assumes a lossless network — every packet a NIC
+emits arrives exactly once, in order.  Once a
+:class:`~repro.network.faults.FaultPlane` is active that assumption
+breaks, so a :class:`ReliableTransport` interposes between the NICs and
+the fabric:
+
+* **Sender side** — every packet is stamped with a per-stream sequence
+  number (stream = ``(src, dst, channel)``), submitted to the fault
+  lottery, and tracked until acknowledged.  A retransmit timer with
+  exponential backoff re-sends lost or corrupted packets; a bounded
+  retry budget turns a black-holed packet into a loud
+  :class:`~repro.util.errors.TransportError` instead of a silent hang.
+  When the original rail is down at retransmit time, the attempt **fails
+  over** to any surviving NIC on the source node that reaches the
+  destination (multirail failover at the transport level).
+
+* **Receiver side** — an endpoint installed as the node's receive guard
+  (:meth:`~repro.network.receiver.Receiver.install_guard`) acknowledges
+  every intact arrival (duplicates included, so lost ACKs converge),
+  discards corrupted copies un-ACKed, deduplicates retransmissions, and
+  holds out-of-order packets in a reorder buffer, releasing them to
+  :meth:`~repro.network.receiver.Receiver.dispatch` strictly in sequence
+  so the messaging layer above never observes loss, duplication, or
+  reordering.
+
+Documented simplifications (mirroring the send-side focus of the base
+model, DESIGN.md §6): retransmissions and ACKs travel with the link's
+latency but do not re-occupy the NIC, and a failed-over retransmission
+keeps the timing computed for the original rail.  The engine's
+*scheduling* is therefore undisturbed by the reliability machinery; only
+delivery, and the counters, change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.network.faults import FaultPlane
+from repro.network.wire import PacketKind, WirePacket
+from repro.sim.engine import Simulator
+from repro.util.errors import ConfigurationError, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.network.fabric import Fabric
+    from repro.network.nic import NIC
+    from repro.sim.event import Event
+
+__all__ = ["ReliabilityConfig", "TransportStats", "ReliableTransport"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityConfig:
+    """Tunables of the ACK/retransmit protocol.
+
+    ``rto`` and ``ack_delay`` default to multiples of each packet's own
+    one-way latency (heterogeneous rails get proportionate timeouts);
+    set them explicitly to fix absolute values.
+    """
+
+    max_retries: int = 10
+    rto: float | None = None  #: retransmit timeout; default 4 x one_way
+    backoff: float = 2.0  #: timeout multiplier per failed attempt
+    ack_delay: float | None = None  #: ACK return latency; default one_way
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.rto is not None and self.rto <= 0:
+            raise ConfigurationError(f"rto must be > 0, got {self.rto}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+        if self.ack_delay is not None and self.ack_delay < 0:
+            raise ConfigurationError(f"ack_delay must be >= 0, got {self.ack_delay}")
+
+    @classmethod
+    def from_spec(cls, spec) -> "ReliabilityConfig":
+        """Build from a scenario ``"faults" → "reliability"`` sub-block."""
+        spec = dict(spec)
+        known = ("max_retries", "rto", "backoff", "ack_delay")
+        for key in spec:
+            if key not in known:
+                raise ConfigurationError(
+                    f"unknown reliability key {key!r} (known: {sorted(known)})"
+                )
+        kwargs: dict = {}
+        if "max_retries" in spec:
+            kwargs["max_retries"] = int(spec["max_retries"])
+        for key in ("rto", "backoff", "ack_delay"):
+            if key in spec and spec[key] is not None:
+                kwargs[key] = float(spec[key])
+        return cls(**kwargs)
+
+    def rto_for(self, one_way: float, attempts: int) -> float:
+        """Timeout for the (attempts+1)-th transmission of a packet."""
+        base = self.rto if self.rto is not None else 4.0 * one_way
+        return base * self.backoff**attempts
+
+    def ack_delay_for(self, one_way: float) -> float:
+        """Latency of the acknowledgement's return trip."""
+        return self.ack_delay if self.ack_delay is not None else one_way
+
+
+@dataclass(slots=True)
+class TransportStats:
+    """Cumulative reliability counters for one transport instance."""
+
+    packets_sent: int = 0
+    retransmits: int = 0
+    failovers: int = 0
+    exhausted: int = 0
+    acks_sent: int = 0
+    acks_dropped: int = 0
+    corrupt_discarded: int = 0
+    dups_discarded: int = 0
+    reorder_held: int = 0
+    delivered: int = 0
+
+
+@dataclass(slots=True)
+class _Pending:
+    """Sender-side state for one unacknowledged packet."""
+
+    packet: WirePacket
+    nic: "NIC"
+    one_way: float
+    attempts: int = 0
+    timer: "Event | None" = None
+
+
+@dataclass(slots=True)
+class _RxStream:
+    """Receiver-side state for one (src, dst, channel) sequence stream."""
+
+    expected: int = 0
+    buffer: dict[int, WirePacket] = field(default_factory=dict)
+
+
+class ReliableTransport:
+    """Cluster-wide reliability layer over a :class:`FaultPlane`.
+
+    One instance serves the whole fabric: sender state is keyed by
+    packet id, receiver state by sequence stream, so a single object can
+    arbitrate every rail — including cross-rail failover.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: "Fabric",
+        plane: FaultPlane | None = None,
+        config: ReliabilityConfig | None = None,
+    ) -> None:
+        self._sim = sim
+        self._fabric = fabric
+        self.plane = plane if plane is not None else FaultPlane()
+        self.config = config if config is not None else ReliabilityConfig()
+        self.stats = TransportStats()
+        self._pending: dict[int, _Pending] = {}
+        self._next_seq: dict[tuple[str, str, int], int] = {}
+        self._rx: dict[tuple[str, str, int], _RxStream] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self, fabric: "Fabric | None" = None) -> None:
+        """Route every NIC through this transport and guard every receiver."""
+        fabric = fabric if fabric is not None else self._fabric
+        for node in fabric.nodes:
+            for nic in node.nics:
+                nic.transport = self
+            node.receiver.install_guard(self._ingest)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of packets currently awaiting acknowledgement."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def transmit(self, nic: "NIC", packet: WirePacket, one_way: float) -> None:
+        """Take over delivery of one freshly submitted packet.
+
+        Called by :meth:`repro.network.nic.NIC.submit` in place of the
+        direct fabric hand-off.  Stamps the per-stream sequence number,
+        registers the pending record, and runs the first attempt.
+        """
+        stream = (packet.src, packet.dst, packet.channel_id)
+        seq = self._next_seq.get(stream, 0)
+        self._next_seq[stream] = seq + 1
+        packet.meta["rel_seq"] = seq
+        pending = _Pending(packet=packet, nic=nic, one_way=one_way)
+        self._pending[packet.packet_id] = pending
+        self.stats.packets_sent += 1
+        self._send_attempt(pending)
+
+    def _send_attempt(self, pending: _Pending) -> None:
+        """One transmission attempt: fault lottery, arrival, retransmit timer."""
+        nic, packet = pending.nic, pending.packet
+        if nic.failed:
+            # The rail is dark: the attempt is lost outright.  The timer
+            # still arms, so the retransmit path gets a chance to fail
+            # over (or the rail a chance to recover).
+            nic.stats.drops += 1
+        else:
+            verdict = self.plane.judge(nic)
+            tracer = self._sim.tracer
+            if verdict.drop:
+                nic.stats.drops += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        self._sim.now, f"rel:{nic.name}", "rel.drop", packet=packet.packet_id
+                    )
+            else:
+                if verdict.corrupt:
+                    nic.stats.corruptions += 1
+                self._sim.schedule(
+                    pending.one_way + verdict.delay,
+                    self._on_arrival,
+                    packet,
+                    nic,
+                    pending.one_way,
+                    verdict.corrupt,
+                )
+                if verdict.duplicate:
+                    nic.stats.duplicates += 1
+                    self._sim.schedule(
+                        pending.one_way + verdict.dup_delay,
+                        self._on_arrival,
+                        packet,
+                        nic,
+                        pending.one_way,
+                        verdict.corrupt,
+                    )
+        pending.timer = self._sim.schedule(
+            self.config.rto_for(pending.one_way, pending.attempts),
+            self._on_timeout,
+            packet.packet_id,
+        )
+
+    def _on_timeout(self, packet_id: int) -> None:
+        pending = self._pending.get(packet_id)
+        if pending is None:  # pragma: no cover - timer cancelled on ACK
+            return
+        if pending.attempts >= self.config.max_retries:
+            self.stats.exhausted += 1
+            del self._pending[packet_id]
+            raise TransportError(
+                f"packet #{packet_id} ({pending.packet.kind.value} "
+                f"{pending.packet.src}->{pending.packet.dst}) unacknowledged after "
+                f"{pending.attempts + 1} attempts on NIC {pending.nic.name!r}"
+            )
+        pending.attempts += 1
+        if pending.nic.failed:
+            fallback = self._failover_nic(pending)
+            if fallback is not None:
+                tracer = self._sim.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        self._sim.now,
+                        f"rel:{pending.nic.name}",
+                        "rel.failover",
+                        packet=packet_id,
+                        to=fallback.name,
+                    )
+                pending.nic = fallback
+                self.stats.failovers += 1
+        self.stats.retransmits += 1
+        pending.nic.stats.retransmits += 1
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._sim.now,
+                f"rel:{pending.nic.name}",
+                "rel.retransmit",
+                packet=packet_id,
+                attempt=pending.attempts,
+            )
+        self._send_attempt(pending)
+
+    def _failover_nic(self, pending: _Pending) -> "NIC | None":
+        """First healthy NIC on the source node that reaches the destination."""
+        node = self._fabric.node(pending.packet.src)
+        for nic in node.nics:
+            if not nic.failed and nic is not pending.nic and nic.reaches(pending.packet.dst):
+                return nic
+        return None
+
+    def _on_ack(self, packet_id: int) -> None:
+        pending = self._pending.pop(packet_id, None)
+        if pending is None:
+            return  # late ACK for an already-acknowledged packet
+        if pending.timer is not None:
+            self._sim.cancel(pending.timer)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def _on_arrival(
+        self, packet: WirePacket, nic: "NIC", one_way: float, corrupt: bool
+    ) -> None:
+        """One copy of a packet reaching the destination node."""
+        if corrupt:
+            # Checksum failure: discard without ACK; the retransmit timer
+            # will re-send an intact copy.
+            self.stats.corrupt_discarded += 1
+            return
+        self._maybe_ack(packet, nic, one_way)
+        self._fabric.node(packet.dst).receiver.deliver(packet)
+
+    def _maybe_ack(self, packet: WirePacket, nic: "NIC", one_way: float) -> None:
+        """Acknowledge an intact arrival (the ACK itself may be lost).
+
+        Duplicates are re-ACKed: the sender may be retransmitting only
+        because the previous ACK was dropped.
+        """
+        if self.plane.judge_ack(nic):
+            self.stats.acks_dropped += 1
+            return
+        self.stats.acks_sent += 1
+        self._sim.schedule(
+            self.config.ack_delay_for(one_way), self._on_ack, packet.packet_id
+        )
+
+    def _ingest(self, packet: WirePacket) -> None:
+        """Receive-guard entry: dedup + reorder, then in-sequence dispatch.
+
+        Installed via
+        :meth:`~repro.network.receiver.Receiver.install_guard`, so any
+        path that delivers to a guarded receiver — transport arrivals or
+        a direct ``deliver`` call — gets the same exactly-once, in-order
+        contract.
+        """
+        if packet.kind is PacketKind.ACK:  # pragma: no cover - ACKs bypass NICs
+            self._on_ack(packet.meta["ack_of"])
+            return
+        seq = packet.meta.get("rel_seq")
+        receiver = self._fabric.node(packet.dst).receiver
+        if seq is None:
+            # Unsequenced packet (injected directly in a test): pass through.
+            receiver.dispatch(packet)
+            return
+        stream = self._rx.setdefault(
+            (packet.src, packet.dst, packet.channel_id), _RxStream()
+        )
+        if seq < stream.expected or seq in stream.buffer:
+            self.stats.dups_discarded += 1
+            return
+        if seq > stream.expected:
+            stream.buffer[seq] = packet
+            self.stats.reorder_held += 1
+            return
+        receiver.dispatch(packet)
+        self.stats.delivered += 1
+        stream.expected += 1
+        while stream.expected in stream.buffer:
+            receiver.dispatch(stream.buffer.pop(stream.expected))
+            self.stats.delivered += 1
+            stream.expected += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReliableTransport(in_flight={len(self._pending)}, "
+            f"retransmits={self.stats.retransmits}, failovers={self.stats.failovers})"
+        )

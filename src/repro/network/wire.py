@@ -34,11 +34,12 @@ class PacketKind(enum.Enum):
     RDV_ACK = "rdv_ack"  #: rendezvous acknowledgement (control)
     RDV_DATA = "rdv_data"  #: rendezvous bulk data (zero-copy DMA)
     CTRL = "ctrl"  #: generic control / signalling message
+    ACK = "ack"  #: transport-level delivery acknowledgement (reliability)
 
     @property
     def is_control(self) -> bool:
         """Whether the packet carries protocol control rather than payload."""
-        return self in (PacketKind.RDV_REQ, PacketKind.RDV_ACK, PacketKind.CTRL)
+        return self in (PacketKind.RDV_REQ, PacketKind.RDV_ACK, PacketKind.CTRL, PacketKind.ACK)
 
 
 @dataclass(frozen=True, slots=True)

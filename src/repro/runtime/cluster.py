@@ -24,7 +24,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.baseline.legacy import LegacyEngine
 from repro.core.channels import ChannelPolicy, PooledChannels
@@ -36,6 +36,8 @@ from repro.drivers.registry import make_driver
 from repro.madeleine.api import MadAPI
 from repro.madeleine.rx import MessageReassembler
 from repro.network.fabric import Fabric
+from repro.network.faults import FaultPlane
+from repro.network.reliable import ReliabilityConfig, ReliableTransport
 from repro.network.technologies import TECHNOLOGIES
 from repro.runtime.metrics import MetricsCollector
 from repro.sim.engine import Simulator
@@ -80,6 +82,17 @@ class Cluster:
         Optional per-technology :class:`DriverCapabilities` overrides
         (e.g. ``{"mx": replace(MX_CAPABILITIES, supports_gather=False)}``)
         for capability ablations.
+    faults:
+        Optional fault model: a ready-made
+        :class:`~repro.network.faults.FaultPlane`, or a mapping in the
+        scenario ``"faults"`` schema (``drop``/``corrupt``/``duplicate``
+        /``jitter``, ``per_network``, ``per_nic``, ``outages``, ``seed``,
+        plus an optional ``"reliability"`` sub-block with
+        ``max_retries``/``rto``/``backoff``/``ack_delay``).  When set,
+        every NIC routes through a
+        :class:`~repro.network.reliable.ReliableTransport` and scheduled
+        rail outages are installed.  ``None`` (default) keeps the
+        lossless fabric and its exact packet timings.
     """
 
     def __init__(
@@ -93,6 +106,7 @@ class Cluster:
         seed: int = 0,
         tracer: Tracer | None = None,
         driver_caps: dict[str, "DriverCapabilities"] | None = None,
+        faults: Mapping | FaultPlane | None = None,
     ) -> None:
         if n_nodes < 2:
             raise ConfigurationError(f"a cluster needs >= 2 nodes, got {n_nodes}")
@@ -158,6 +172,25 @@ class Cluster:
             self.engines[node.name] = comm_engine
             self.reassemblers[node.name] = reassembler
             self.apis[node.name] = MadAPI(node.name, comm_engine, reassembler)
+
+        self.fault_plane: FaultPlane | None = None
+        self.transport: ReliableTransport | None = None
+        if faults is not None:
+            if isinstance(faults, FaultPlane):
+                plane, rel_config = faults, ReliabilityConfig()
+            else:
+                spec = dict(faults)
+                rel_spec = spec.pop("reliability", None)
+                rel_config = (
+                    ReliabilityConfig.from_spec(rel_spec)
+                    if rel_spec is not None
+                    else ReliabilityConfig()
+                )
+                plane = FaultPlane.from_spec(spec, default_seed=seed)
+            self.fault_plane = plane
+            self.transport = ReliableTransport(self.sim, self.fabric, plane, rel_config)
+            self.transport.install()
+            plane.install(self.fabric, self.sim)
 
     @staticmethod
     def _make_strategy(

@@ -94,6 +94,13 @@ class SessionReport:
     nic_utilization: float  #: mean busy fraction over all NICs
     host_time: float  #: total host CPU time consumed by sends (s)
     rdv_count: int
+    #: Fault/reliability counters; all zero on a lossless run.
+    retransmits: int = 0
+    packets_dropped: int = 0
+    packets_corrupted: int = 0
+    packets_duplicated: int = 0
+    failovers: int = 0  #: engine rail-down re-routes + transport NIC switches
+    rdv_timeouts: int = 0
 
     def row(self) -> dict[str, float]:
         """Flat numeric view for table printing."""
@@ -186,6 +193,17 @@ class MetricsCollector:
         rdv = sum(e.stats.rdv_parked for e in cluster.engines.values())
         elapsed = cluster.sim.now if cluster.sim.now > 0 else 1.0
 
+        transport = getattr(cluster, "transport", None)
+        plane = getattr(cluster, "fault_plane", None)
+        retransmits = transport.stats.retransmits if transport is not None else 0
+        failovers = sum(e.stats.failovers for e in cluster.engines.values())
+        if transport is not None:
+            failovers += transport.stats.failovers
+        dropped = plane.stats.drops if plane is not None else 0
+        corrupted = plane.stats.corruptions if plane is not None else 0
+        duplicated = plane.stats.duplicates if plane is not None else 0
+        rdv_timeouts = sum(e.stats.rdv_timeouts for e in cluster.engines.values())
+
         return SessionReport(
             duration=duration,
             messages=len(records),
@@ -201,4 +219,10 @@ class MetricsCollector:
             nic_utilization=busy / (nic_count * elapsed) if nic_count else 0.0,
             host_time=host,
             rdv_count=rdv,
+            retransmits=retransmits,
+            packets_dropped=dropped,
+            packets_corrupted=corrupted,
+            packets_duplicated=duplicated,
+            failovers=failovers,
+            rdv_timeouts=rdv_timeouts,
         )

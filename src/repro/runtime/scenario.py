@@ -20,8 +20,20 @@ file) describing the cluster, the workloads, and the run window::
          "count": 100, "traffic_class": "bulk"},
         {"app": "barrier", "nodes": ["n0", "n1"], "rounds": 5}
       ],
+      "faults": {
+        "drop": 0.05,
+        "outages": [{"nic": "n0.mx00", "at": 0.002, "recover": 0.004}],
+        "reliability": {"max_retries": 10}
+      },
       "run": {"until": null, "warmup": 0.0}
     }
+
+The optional ``"faults"`` block activates the fault-injection plane and
+reliability protocol (:mod:`repro.network.faults`,
+:mod:`repro.network.reliable`).  Unknown keys anywhere in the scenario
+are rejected with :class:`~repro.util.errors.ConfigurationError` naming
+the bad key — a typo'd knob silently ignored would invalidate the
+experiment it configures.
 
 :func:`run_scenario` executes it and returns ``(report, apps)``; the
 ``python -m repro run`` CLI wraps this for files.
@@ -85,6 +97,23 @@ POLICY_TYPES: dict[str, Callable[[], ChannelPolicy]] = {
     "adaptive": AdaptiveChannels,
 }
 
+#: Keys a scenario mapping may carry at each level.
+_SCENARIO_KEYS = frozenset(
+    {"name", "description", "cluster", "workloads", "faults", "run"}
+)
+_CLUSTER_KEYS = frozenset(
+    {"n_nodes", "networks", "engine", "strategy", "policy", "config", "seed"}
+)
+_RUN_KEYS = frozenset({"until", "warmup"})
+
+
+def _reject_unknown_keys(spec: Mapping[str, Any], known: frozenset, where: str) -> None:
+    for key in spec:
+        if key not in known:
+            raise ConfigurationError(
+                f"unknown {where} key {key!r} (known: {sorted(known)})"
+            )
+
 
 def _parse_traffic_class(value: Any) -> Any:
     if isinstance(value, str):
@@ -129,7 +158,9 @@ def _build_app(spec: Mapping[str, Any]) -> AppBase:
 
 def build_scenario(scenario: Mapping[str, Any]) -> tuple[Cluster, list[AppBase]]:
     """Build the cluster and (uninstalled) workload apps of a scenario."""
+    _reject_unknown_keys(scenario, _SCENARIO_KEYS, "scenario")
     cluster_spec = dict(scenario.get("cluster", {}))
+    _reject_unknown_keys(cluster_spec, _CLUSTER_KEYS, "cluster")
     policy_name = cluster_spec.pop("policy", None)
     if policy_name is not None:
         try:
@@ -147,6 +178,9 @@ def build_scenario(scenario: Mapping[str, Any]) -> tuple[Cluster, list[AppBase]]
     networks = cluster_spec.get("networks")
     if networks is not None:
         cluster_spec["networks"] = [tuple(net) for net in networks]
+    faults_spec = scenario.get("faults")
+    if faults_spec is not None:
+        cluster_spec["faults"] = faults_spec
     cluster = Cluster(**cluster_spec)
     apps = [_build_app(entry) for entry in scenario.get("workloads", [])]
     if not apps:
@@ -160,6 +194,7 @@ def run_scenario(
     """Build and execute a scenario; returns (report, cluster, apps)."""
     cluster, apps = build_scenario(scenario)
     run_spec = scenario.get("run", {})
+    _reject_unknown_keys(run_spec, _RUN_KEYS, "run")
     report = run_session(
         cluster,
         [app.install for app in apps],

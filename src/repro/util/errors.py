@@ -15,6 +15,8 @@ __all__ = [
     "ConstraintViolation",
     "CapabilityError",
     "ProtocolError",
+    "TransportError",
+    "FaultInjectionError",
 ]
 
 
@@ -59,4 +61,22 @@ class CapabilityError(ReproError):
 class ProtocolError(ReproError):
     """A wire-protocol invariant was violated (duplicate delivery,
     unmatched rendezvous acknowledgement, unpack without matching pack).
+    """
+
+
+class TransportError(ReproError):
+    """The reliability protocol gave up on a transfer.
+
+    Examples: a packet exhausted its bounded retransmit budget without
+    being acknowledged, or a retransmission was requested for a packet
+    the transport no longer tracks.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan is inconsistent or cannot be applied.
+
+    Examples: a drop probability outside ``[0, 1]``, an outage naming a
+    NIC or network that does not exist in the fabric, a recovery time
+    scheduled before the outage itself.
     """

@@ -86,3 +86,62 @@ class TestControlDispatch:
         r = Receiver(Simulator(), "n0")
         with pytest.raises(ProtocolError):
             r.register_control_handler(PacketKind.EAGER, lambda p: None)
+
+
+class TestGuard:
+    """A guard (the reliability layer) intercepts between arrival and demux."""
+
+    def test_guard_intercepts_delivery(self):
+        r = Receiver(Simulator(), "n0")
+        held, dispatched = [], []
+        r.register_default_sink(dispatched.append)
+        r.install_guard(held.append)
+        r.deliver(data_packet())
+        assert len(held) == 1 and dispatched == []
+
+    def test_guard_can_forward_via_dispatch(self):
+        r = Receiver(Simulator(), "n0")
+        dispatched = []
+        r.register_default_sink(dispatched.append)
+        r.install_guard(r.dispatch)
+        r.deliver(data_packet())
+        assert len(dispatched) == 1
+        assert r.packets_received == 1
+
+    def test_second_guard_rejected(self):
+        r = Receiver(Simulator(), "n0")
+        r.install_guard(lambda p: None)
+        with pytest.raises(ProtocolError):
+            r.install_guard(lambda p: None)
+
+    def test_guard_still_checks_destination(self):
+        r = Receiver(Simulator(), "n0")
+        r.install_guard(lambda p: None)
+        with pytest.raises(ProtocolError):
+            r.deliver(data_packet(dst="other"))
+
+
+class TestDuplicateDeliveryWithoutGuard:
+    """Without the reliability guard, replaying a packet into the
+    reassembler is a protocol violation — exactly the failure mode the
+    transport's dedup exists to prevent."""
+
+    def test_replayed_packet_raises(self):
+        from repro.madeleine.message import Flow, Message
+        from repro.madeleine.rx import MessageReassembler
+
+        sim = Simulator()
+        reassembler = MessageReassembler(sim, "n0")
+        r = Receiver(sim, "n0")
+        r.register_default_sink(reassembler.sink)
+        flow = Flow("f", "src", "n0")
+        message = Message(flow)
+        message.add_fragment(64)
+        message.submit_time = 0.0
+        fragment = message.fragments[0]
+        packet = WirePacket(
+            PacketKind.EAGER, "src", "n0", 0, (WireSegment(fragment, 0, 64),)
+        )
+        r.deliver(packet)
+        with pytest.raises(ProtocolError):
+            r.deliver(packet)

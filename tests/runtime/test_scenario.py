@@ -132,6 +132,79 @@ class TestValidation:
                 minimal_scenario(cluster={"config": {"warp_speed": 9}})
             )
 
+    def test_unknown_scenario_key_named_in_error(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            build_scenario(minimal_scenario(workload=[{"app": "stream"}]))
+
+    def test_unknown_cluster_key_named_in_error(self):
+        with pytest.raises(ConfigurationError, match="node_count"):
+            build_scenario(minimal_scenario(cluster={"node_count": 2}))
+
+    def test_unknown_run_key_named_in_error(self):
+        with pytest.raises(ConfigurationError, match="stop_at"):
+            run_scenario(minimal_scenario(run={"stop_at": 1.0}))
+
+    def test_unknown_faults_key_named_in_error(self):
+        from repro.util.errors import FaultInjectionError
+
+        with pytest.raises(FaultInjectionError, match="drp"):
+            build_scenario(minimal_scenario(faults={"drp": 0.1}))
+
+
+class TestFaultsBlock:
+    def test_faults_block_installs_plane(self):
+        cluster, _ = build_scenario(
+            minimal_scenario(faults={"drop": 0.02, "seed": 4})
+        )
+        assert cluster.fault_plane is not None
+        assert cluster.fault_plane.default.drop == 0.02
+        assert cluster.fault_plane.seed == 4
+        assert cluster.transport is not None
+
+    def test_faults_seed_defaults_to_cluster_seed(self):
+        cluster, _ = build_scenario(minimal_scenario(faults={"drop": 0.02}))
+        assert cluster.fault_plane.seed == 1  # from cluster.seed
+
+    def test_reliability_subblock_parsed(self):
+        cluster, _ = build_scenario(
+            minimal_scenario(faults={"drop": 0.02, "reliability": {"max_retries": 3}})
+        )
+        assert cluster.transport.config.max_retries == 3
+
+    def test_lossy_scenario_runs_to_completion(self):
+        scenario = minimal_scenario(faults={"drop": 0.3, "seed": 5})
+        report, cluster, apps = run_scenario(scenario)
+        assert report.messages == 20
+        assert all(a.done.done for a in apps)
+        assert report.packets_dropped > 0
+        assert report.retransmits > 0
+
+    def test_cli_faults_override(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario()))
+        assert main(["run", str(path), "--faults", "drop=0.05,seed=11"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmits" in out
+
+    def test_cli_faults_off_disables_scenario_block(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario(faults={"drop": 0.5})))
+        assert main(["run", str(path), "--faults", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmits" not in out
+
+    def test_cli_faults_malformed_rejected(self, tmp_path):
+        from repro.__main__ import main
+
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario()))
+        with pytest.raises(ConfigurationError, match="--faults"):
+            main(["run", str(path), "--faults", "drop"])
+
 
 class TestRunScenario:
     def test_runs_to_completion(self):
