@@ -59,3 +59,75 @@ def test_legacy_message_rate(benchmark):
         return cluster.report().messages
 
     assert benchmark(run) == 400
+
+
+# ----------------------------------------------------------------------
+# Backlog-depth sweeps of the optimizer hot path (see repro.bench.kernel
+# for the CLI suite and the CI regression gate around the same probes).
+# ----------------------------------------------------------------------
+
+import pytest
+
+from repro.bench import kernel
+
+
+@pytest.mark.parametrize("depth", [16, 256])
+def test_aggregate_decision_vs_backlog(benchmark, depth):
+    """One greedy scheduling decision at a fixed backlog depth."""
+    cluster = kernel.build_loaded_cluster(depth)
+    engine = cluster.engine("n0")
+    driver = engine.drivers[0]
+    queues = list(engine.waiting.non_empty())
+
+    def decide():
+        plan = engine.strategy.make_plan(engine, driver)
+        for queue in queues:
+            queue.invalidate_caches()
+        return plan
+
+    assert benchmark(decide) is not None
+
+
+@pytest.mark.parametrize("depth", [16, 256])
+def test_search_decision_vs_backlog(benchmark, depth):
+    """One bounded-search decision (budget 64) at a fixed backlog depth."""
+    from repro.core.config import EngineConfig
+    from repro.core.strategies.search import BoundedSearchStrategy
+
+    cluster = kernel.build_loaded_cluster(
+        depth,
+        strategy=lambda: BoundedSearchStrategy(budget=64),
+        config=EngineConfig(lookahead_window=32),
+    )
+    engine = cluster.engine("n0")
+    driver = engine.drivers[0]
+    queues = list(engine.waiting.non_empty())
+
+    def decide():
+        plan = engine.strategy.make_plan(engine, driver)
+        for queue in queues:
+            queue.invalidate_caches()
+        return plan
+
+    assert benchmark(decide) is not None
+
+
+@pytest.mark.parametrize("depth", [64, 1024])
+def test_queue_churn_vs_backlog(benchmark, depth):
+    """Middle-of-queue remove/append churn (the rendezvous pattern)."""
+    from repro.core.waiting import ChannelQueue
+    from repro.madeleine.message import Flow
+
+    flow = Flow("bench", "n0", "n1")
+    queue = ChannelQueue(0)
+    entries = [kernel._data_entry(flow) for _ in range(depth)]
+    for entry in entries:
+        queue.append(entry)
+    middle = entries[depth // 2]
+
+    def churn():
+        queue.remove(middle)
+        queue.append(middle)
+
+    benchmark(churn)
+    assert len(queue) == depth

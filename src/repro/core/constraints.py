@@ -25,6 +25,8 @@ The rules
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.plan import TransferPlan
 from repro.madeleine.message import PackMode
 from repro.madeleine.submit import EntryKind, EntryState, SubmitEntry
@@ -37,7 +39,7 @@ __all__ = ["ConstraintChecker"]
 class ConstraintChecker:
     """Validates transfer plans against the constraint rules above."""
 
-    def check(self, plan: TransferPlan, channel_pending: list[SubmitEntry]) -> None:
+    def check(self, plan: TransferPlan, channel_pending: Sequence[SubmitEntry]) -> None:
         """Raise :class:`ConstraintViolation` if the plan is illegal.
 
         ``channel_pending`` is the arrival-ordered pending snapshot of

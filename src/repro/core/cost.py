@@ -60,8 +60,9 @@ class CostModel:
             + plan.payload_bytes
         )
 
-    def occupancy(self, plan: TransferPlan) -> float:
-        """Predicted sender-side NIC busy time of the plan."""
+    def _assembly(self, plan: TransferPlan):
+        """``(wire_bytes, mode, aggregation)`` — the per-plan driver
+        queries, computed exactly once per scoring pass."""
         driver = plan.driver
         size = self.wire_bytes(plan)
         if plan.kind.is_control:
@@ -71,17 +72,22 @@ class CostModel:
                 [item.take for item in plan.items]
             )
         mode = driver.choose_mode(plan.payload_bytes)
-        return driver.occupancy(size, mode, aggregation)
+        return size, mode, aggregation
+
+    def occupancy(self, plan: TransferPlan) -> float:
+        """Predicted sender-side NIC busy time of the plan."""
+        size, mode, aggregation = self._assembly(plan)
+        return plan.driver.occupancy(size, mode, aggregation)
 
     def score(self, plan: TransferPlan, now: float) -> float:
         """Value density of the plan (higher is better); see module docs."""
         driver = plan.driver
-        occupancy = self.occupancy(plan)
+        size, mode, aggregation = self._assembly(plan)
+        occupancy = driver.occupancy(size, mode, aggregation)
         payload = float(plan.payload_bytes)
         if plan.kind.is_control:
             payload += self.control_bonus_bytes
         link = driver.nic.link
-        mode = driver.choose_mode(plan.payload_bytes)
         startup_equivalent = link.startup(mode) * link.bandwidth(mode)
         saved = len(plan.items) * startup_equivalent
         density = (payload + saved) / occupancy

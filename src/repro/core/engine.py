@@ -38,7 +38,7 @@ from repro.network.fabric import Node
 from repro.network.wire import PacketKind, WirePacket, WireSegment
 from repro.sim.engine import Simulator
 from repro.sim.event import Event
-from repro.util.errors import ConfigurationError, ProtocolError
+from repro.util.errors import ConfigurationError, InternalError, ProtocolError
 
 __all__ = ["EngineStats", "CommEngineBase", "OptimizingEngine"]
 
@@ -269,7 +269,7 @@ class CommEngineBase:
             # FIFO rule is decided by entries at or before the last taken
             # one, so a window-bounded snapshot suffices (and keeps the
             # check O(window) instead of O(queue) under deep backlogs).
-            self.checker.check(plan, queue.pending(self.config.lookahead_window))
+            self.checker.check(plan, queue.pending_view(self.config.lookahead_window))
         segments: list[WireSegment] = []
         for item in plan.items:
             entry = item.entry
@@ -318,7 +318,9 @@ class CommEngineBase:
     # ------------------------------------------------------------------
     def _arm_hold(self, wake_at: float) -> None:
         if wake_at <= self.sim.now:
-            raise ConfigurationError(
+            # A Hold with a past deadline is a strategy implementation
+            # bug, not a user configuration problem.
+            raise InternalError(
                 f"hold deadline {wake_at} not in the future (now={self.sim.now})"
             )
         if self._hold_timer is not None and self._hold_wake <= wake_at:

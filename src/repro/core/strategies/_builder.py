@@ -17,12 +17,12 @@ maintaining per-flow blocking state so the result always satisfies the
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.plan import PlanItem, TransferPlan
 from repro.core.waiting import ChannelQueue
 from repro.drivers.base import Driver
-from repro.madeleine.submit import EntryKind, EntryState
+from repro.madeleine.submit import EntryKind, EntryState, SubmitEntry
 from repro.network.wire import PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -43,10 +43,10 @@ def park_oversized(engine: "CommEngineBase", driver: Driver, queue: ChannelQueue
     to make candidate generation side-effect free.
     """
     parked = 0
-    for entry in queue.pending(engine.config.lookahead_window):
+    for entry in queue.pending_view(engine.config.lookahead_window):
         if (
             entry.kind is EntryKind.DATA
-            and entry.state is EntryState.WAITING
+            and entry._state is EntryState.WAITING
             and not entry.meta.get("no_rdv")
             and driver.wants_rendezvous(entry.remaining)
             and driver.nic.reaches(entry.dst)
@@ -66,6 +66,7 @@ def build_from_queue(
     skip_seeds: int = 0,
     allow_park: bool = True,
     protocol_only: bool = False,
+    pending: Sequence[SubmitEntry] | None = None,
 ) -> TransferPlan | None:
     """Greedily build one packet from a channel queue (see module docs).
 
@@ -75,14 +76,18 @@ def build_from_queue(
     the seed's message (the legacy Madeleine behaviour);
     ``protocol_only`` ignores plain waiting data and only emits control
     or rendezvous-bulk packets (used while a legacy channel is stalled
-    behind a rendezvous).
+    behind a rendezvous); ``pending`` lets a caller evaluating many
+    candidates over an unchanged queue reuse one window snapshot
+    instead of re-materializing it per candidate.
     """
     config = engine.config
-    # The lookahead window bounds *optimization* lookahead; a
-    # protocol-only pass must reach control/rendezvous entries wherever
-    # they sit, or a stalled channel with a deep data backlog deadlocks
-    # (the protocol entry that would unblock it hides beyond the window).
-    pending = queue.pending(None if protocol_only else config.lookahead_window)
+    if pending is None:
+        # The lookahead window bounds *optimization* lookahead; a
+        # protocol-only pass must reach control/rendezvous entries
+        # wherever they sit, or a stalled channel with a deep data
+        # backlog deadlocks (the protocol entry that would unblock it
+        # hides beyond the window).
+        pending = queue.pending_view(None if protocol_only else config.lookahead_window)
     items: list[PlanItem] = []
     taken_bytes = 0
     blocked_flows: set[int] = set()
@@ -108,7 +113,9 @@ def build_from_queue(
             continue
 
         # Rendezvous bulk: always alone, exempt from FIFO blocking.
-        if entry.state is EntryState.RDV_READY:
+        # (``_state`` read directly: the property indirection costs at
+        # per-entry walk frequency.)
+        if entry._state is EntryState.RDV_READY:
             if items:
                 continue
             take = entry.remaining

@@ -39,8 +39,16 @@ class AggregationStrategy(Strategy):
             if self.max_items is not None
             else driver.max_segments_per_packet()
         )
+        window = engine.config.lookahead_window
         for queue in engine.queues_for(driver):
-            plan = build_from_queue(engine, driver, queue, max_items=limit)
+            # One explicit window snapshot per queue, handed to the
+            # builder: the decision materializes the lookahead once.
+            pending = queue.pending_view(window)
+            if not pending:
+                continue
+            plan = build_from_queue(
+                engine, driver, queue, max_items=limit, pending=pending
+            )
             if plan is not None:
                 return plan
         return None

@@ -52,10 +52,15 @@ class NagleStrategy(Strategy):
         if decision.kind is not PacketKind.EAGER:
             return decision
         delay = self.delay if self.delay is not None else engine.config.nagle_delay
+        if delay <= 0:
+            # Holding disabled (the default): skip the byte-count probe
+            # entirely — ``payload_bytes`` sums the plan's items, and
+            # this wrapper sits on the per-decision hot path.
+            return decision
         min_bytes = (
             self.min_bytes if self.min_bytes is not None else engine.config.nagle_min_bytes
         )
-        if delay <= 0 or decision.payload_bytes >= min_bytes:
+        if decision.payload_bytes >= min_bytes:
             return decision
         oldest = min(item.entry.submit_time for item in decision.items)
         deadline = oldest + delay

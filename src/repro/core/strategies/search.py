@@ -3,13 +3,32 @@
 The paper's §4 announces the need "to bound the number of data
 rearrangements the optimizer has to evaluate so as to determine the best
 combination of optimization techniques".  This strategy makes the bound
-explicit: it generates up to ``search_budget`` *legal* candidate plans
-(greedy builds started from different seed entries of different channel
-queues, with different aggregation widths), scores each with the
+explicit: it evaluates up to ``search_budget`` candidate plans (greedy
+builds started from different seed entries of different channel queues,
+with different aggregation widths), scores each with the
 :class:`~repro.core.cost.CostModel`, and dispatches the best.
 
 ``search_budget = 1`` degenerates to the plain greedy aggregation plan;
 the E5 experiment sweeps the budget to show the gain-vs-cost plateau.
+
+Hot-path structure (one decision stays O(window), not O(backlog)):
+
+* the pending snapshot is materialized **once per queue** and shared by
+  every candidate build over it;
+* per seed, only the **widest** candidate is built; narrower widths are
+  prefixes of it (a greedy walk stopped at *k* items takes exactly the
+  first *k* items of the wider walk, and stopping early cannot change
+  any earlier take/skip decision), so two of three builds disappear;
+* scores are memoized per ``(driver, channel, queue version, seed,
+  item count)`` — distinct widths that truncate to the same plan (a
+  control packet, a lone SAFER fragment, a two-entry queue) are scored
+  once.  The queue version stamp keys the cache, so any queue mutation
+  invalidates it for free; the cache itself is dropped whenever
+  simulated time moves (scores depend on waiting-time staleness).
+
+Budget accounting is unchanged from the naive enumeration — each
+(seed, width) candidate costs one evaluation whether it was built or
+derived — so a given budget explores exactly the same candidates.
 """
 
 from __future__ import annotations
@@ -34,6 +53,15 @@ class BoundedSearchStrategy(Strategy):
     def __init__(self, budget: int | None = None) -> None:
         #: Optional override of ``EngineConfig.search_budget``.
         self.budget = budget
+        #: Candidates evaluated over the strategy's lifetime (the
+        #: kernel benchmarks and budget-accounting tests read this).
+        self.candidates_evaluated = 0
+        #: Candidates evaluated by the most recent ``make_plan`` call.
+        self.last_evaluated = 0
+        # (driver id, channel, queue version, seed, items) -> (score, plan),
+        # valid for one instant of simulated time.
+        self._score_cache: dict[tuple, tuple[float, TransferPlan]] = {}
+        self._cache_now: float | None = None
 
     def make_plan(
         self, engine: "CommEngineBase", driver: Driver
@@ -45,31 +73,75 @@ class BoundedSearchStrategy(Strategy):
         for queue in queues:
             park_oversized(engine, driver, queue)
 
+        now = engine.sim.now
+        if now != self._cache_now:
+            self._score_cache.clear()
+            self._cache_now = now
+        cache = self._score_cache
+        cost = engine.cost
+        window_limit = engine.config.lookahead_window
+
         best: TransferPlan | None = None
         best_score = float("-inf")
         evaluated = 0
         full_width = driver.max_segments_per_packet()
-        for queue in queues:
-            window = min(engine.config.lookahead_window, len(queue.pending(engine.config.lookahead_window)))
-            for seed in range(window):
-                for width in self._widths(full_width):
+        widths = self._widths(full_width)
+        try:
+            for queue in queues:
+                # One snapshot per queue, shared by every candidate build.
+                pending = queue.pending_view(window_limit)
+                version = queue.version
+                for seed in range(len(pending)):
                     if evaluated >= budget:
-                        return best if best is not None else None
-                    plan = build_from_queue(
+                        return best
+                    base = build_from_queue(
                         engine,
                         driver,
                         queue,
-                        max_items=width,
+                        max_items=full_width,
                         skip_seeds=seed,
                         allow_park=False,
+                        pending=pending,
                     )
                     evaluated += 1
-                    if plan is None:
-                        break  # deeper seeds in this queue yield nothing either
-                    score = engine.cost.score(plan, engine.sim.now)
-                    if score > best_score:
-                        best, best_score = plan, score
-        return best
+                    if base is None:
+                        # Nothing is dispatchable even with every earlier
+                        # seed blocked; deeper seeds only block more, so
+                        # this whole queue is exhausted — move to the next
+                        # queue instead of burning budget on impossible
+                        # seeds.
+                        break
+                    base_items = len(base.items)
+                    first = True
+                    for width in widths:
+                        if not first:
+                            if evaluated >= budget:
+                                return best
+                            evaluated += 1
+                        first = False
+                        n_items = base_items if width >= base_items else width
+                        key = (id(driver), queue.channel_id, version, seed, n_items)
+                        cached = cache.get(key)
+                        if cached is None:
+                            if n_items == base_items:
+                                candidate = base
+                            else:
+                                candidate = TransferPlan(
+                                    base.driver,
+                                    base.kind,
+                                    base.dst,
+                                    base.channel_id,
+                                    base.items[:n_items],
+                                )
+                            cached = (cost.score(candidate, now), candidate)
+                            cache[key] = cached
+                        score, candidate = cached
+                        if score > best_score:
+                            best, best_score = candidate, score
+            return best
+        finally:
+            self.last_evaluated = evaluated
+            self.candidates_evaluated += evaluated
 
     @staticmethod
     def _widths(full_width: int) -> tuple[int, ...]:

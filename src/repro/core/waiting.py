@@ -9,97 +9,314 @@ packet, the scheduler simply accumulates a backlog of packets").
 Queues never reorder anything themselves; strategies read an ordered
 snapshot and pick.  Entries leave a queue when fully dispatched, or are
 *parked* out of it while a rendezvous handshake is in flight.
+
+Complexity
+----------
+The optimizer runs once per NIC-idle transition and must stay
+O(lookahead window) per decision regardless of backlog depth, so every
+aggregate this module exposes is *incrementally maintained* rather than
+recomputed:
+
+* ``len(queue)``, ``queue.pending_bytes``, ``WaitingLists.total_pending``
+  and ``total_pending_bytes`` are O(1) counters, updated by the entries
+  themselves: :class:`~repro.madeleine.submit.SubmitEntry` notifies its
+  owning queue on every state transition and byte consumption;
+* :meth:`ChannelQueue.remove` is O(1): entries live in a lazily
+  compacted slot list (``entry_id`` → slot index), removal blanks the
+  slot, and compaction runs only when dead slots outnumber live ones;
+* ``oldest_submit_time`` and windowed :meth:`ChannelQueue.pending`
+  snapshots are memoized against the queue's **version stamp**, which
+  every mutation bumps — a scheduling decision that evaluates dozens of
+  candidate plans over an unchanged queue pays for one walk, not one
+  per candidate.
+
+The brute-force definitions these counters must agree with are kept in
+:meth:`ChannelQueue.recount` (exercised by the hypothesis property
+tests).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterator
 
-from repro.madeleine.submit import EntryState, SubmitEntry
-from repro.util.errors import ConfigurationError
+from repro.madeleine.submit import (
+    PENDING_ENTRY_STATES,
+    EntryState,
+    SubmitEntry,
+)
+from repro.util.errors import InternalError
 
 __all__ = ["ChannelQueue", "WaitingLists"]
 
-_PENDING_STATES = (EntryState.WAITING, EntryState.RDV_READY)
+_PENDING_STATES = PENDING_ENTRY_STATES
+
+#: Dead-slot count below which compaction is never attempted (tiny
+#: queues are cheaper to leave fragmented than to rebuild).
+_COMPACT_MIN_GARBAGE = 64
 
 
 class ChannelQueue:
-    """Arrival-ordered pending entries of one channel."""
+    """Arrival-ordered pending entries of one channel.
 
-    def __init__(self, channel_id: int) -> None:
+    ``lists`` is the owning :class:`WaitingLists`, whose cross-channel
+    totals this queue keeps in sync (``None`` for standalone queues in
+    tests and micro-benchmarks).
+    """
+
+    __slots__ = (
+        "channel_id",
+        "_slots",
+        "_head",
+        "_index",
+        "_garbage",
+        "_pending_count",
+        "_pending_bytes",
+        "_version",
+        "_lists",
+        "_snap_version",
+        "_snap_window",
+        "_snap",
+        "_oldest_version",
+        "_oldest",
+    )
+
+    def __init__(self, channel_id: int, *, lists: "WaitingLists | None" = None) -> None:
         self.channel_id = channel_id
-        self._entries: deque[SubmitEntry] = deque()
+        #: Arrival-ordered slots; ``None`` marks a lazily removed entry.
+        self._slots: list[SubmitEntry | None] = []
+        self._head = 0  # slots before this index are all dead
+        self._index: dict[int, int] = {}  # entry_id -> slot position
+        self._garbage = 0  # dead slots at or after _head
+        self._pending_count = 0
+        self._pending_bytes = 0
+        self._version = 0
+        self._lists = lists
+        self._snap_version = -1
+        self._snap_window: int | None = None
+        self._snap: tuple[SubmitEntry, ...] = ()
+        self._oldest_version = -1
+        self._oldest: float | None = None
 
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
     def append(self, entry: SubmitEntry) -> None:
         """Add an entry at the tail (arrival order)."""
-        self._entries.append(entry)
+        if entry._owner is not None:
+            raise InternalError(
+                f"entry #{entry.entry_id} already belongs to channel "
+                f"{entry._owner.channel_id}, cannot append to {self.channel_id}"
+            )
+        entry._owner = self
+        self._index[entry.entry_id] = len(self._slots)
+        self._slots.append(entry)
+        if entry._state in _PENDING_STATES:
+            self._account(1, entry.remaining)
+        self._version += 1
 
     def remove(self, entry: SubmitEntry) -> None:
         """Remove a specific entry (dispatch or rendezvous parking)."""
-        try:
-            self._entries.remove(entry)
-        except ValueError:
-            raise ConfigurationError(
+        position = self._index.pop(entry.entry_id, None)
+        if position is None or self._slots[position] is not entry:
+            raise InternalError(
                 f"entry #{entry.entry_id} not in channel {self.channel_id}"
-            ) from None
+            )
+        self._slots[position] = None
+        self._garbage += 1
+        entry._owner = None
+        if entry._state in _PENDING_STATES:
+            self._account(-1, -entry.remaining)
+        self._version += 1
+        self._maybe_compact()
 
+    # ------------------------------------------------------------------
+    # entry notifications (called by SubmitEntry on owned entries)
+    # ------------------------------------------------------------------
+    def _note_state_change(
+        self, entry: SubmitEntry, old: EntryState, new: EntryState
+    ) -> None:
+        was_pending = old in _PENDING_STATES
+        now_pending = new in _PENDING_STATES
+        if was_pending and not now_pending:
+            self._account(-1, -entry.remaining)
+        elif now_pending and not was_pending:
+            self._account(1, entry.remaining)
+        self._version += 1
+
+    def _note_bytes_consumed(self, n_bytes: int) -> None:
+        self._account(0, -n_bytes)
+        self._version += 1
+
+    def _account(self, count_delta: int, bytes_delta: int) -> None:
+        self._pending_count += count_delta
+        self._pending_bytes += bytes_delta
+        lists = self._lists
+        if lists is not None:
+            lists._total_pending += count_delta
+            lists._total_pending_bytes += bytes_delta
+
+    # ------------------------------------------------------------------
+    # lazy cleanup
+    # ------------------------------------------------------------------
     def _prune(self) -> None:
-        # Entries fully consumed elsewhere (striping finished their last
-        # bytes) or parked are dropped lazily from the head.
-        while self._entries and self._entries[0].state not in _PENDING_STATES:
-            self._entries.popleft()
+        # Advance past dead slots and entries fully consumed elsewhere
+        # (striping finished their last bytes).  Entries parked by a
+        # direct state flip stay in place — skipped by walks, invisible
+        # to the counters — so a later flip back to a pending state
+        # restores them without losing arrival order.
+        slots = self._slots
+        head = self._head
+        n = len(slots)
+        while head < n:
+            entry = slots[head]
+            if entry is None:
+                self._garbage -= 1
+            elif entry._state is EntryState.SENT:
+                del self._index[entry.entry_id]
+                entry._owner = None
+                slots[head] = None
+            else:
+                break
+            head += 1
+        self._head = head
+
+    def _maybe_compact(self) -> None:
+        dead = self._head + self._garbage
+        if dead < _COMPACT_MIN_GARBAGE or dead * 2 < len(self._slots):
+            return
+        self._slots = [e for e in self._slots[self._head :] if e is not None]
+        self._head = 0
+        self._garbage = 0
+        self._index = {e.entry_id: i for i, e in enumerate(self._slots)}
+
+    # ------------------------------------------------------------------
+    # reads (all memoized against the version stamp)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic stamp bumped by every mutation (cache key)."""
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Force the next read to re-walk (benchmarks use this to defeat
+        cross-decision memoization; never needed in normal operation)."""
+        self._version += 1
 
     def pending(self, window: int | None = None) -> list[SubmitEntry]:
         """The first ``window`` pending entries in arrival order.
 
         ``window`` is the paper's *lookahead window*: how many waiting
         packets the optimizer may examine per decision.  ``None`` means
-        unbounded.
+        unbounded.  Returns a fresh list; the underlying snapshot is
+        cached until the queue changes.
         """
+        return list(self._snapshot(window))
+
+    def pending_view(self, window: int | None = None) -> tuple[SubmitEntry, ...]:
+        """Like :meth:`pending` but returns the cached immutable
+        snapshot without a defensive copy — for hot-path readers (the
+        packet builders) that only iterate it."""
+        return self._snapshot(window)
+
+    def _snapshot(self, window: int | None) -> tuple[SubmitEntry, ...]:
+        if self._snap_version == self._version:
+            snap, cached_window = self._snap, self._snap_window
+            if cached_window is None or len(snap) < cached_window:
+                # Complete snapshot of everything pending: serves any window.
+                return snap if window is None else snap[:window]
+            if window is not None and window <= cached_window:
+                return snap[:window]
         self._prune()
-        result = []
-        for entry in self._entries:
-            if entry.state not in _PENDING_STATES:
+        result: list[SubmitEntry] = []
+        slots = self._slots
+        for position in range(self._head, len(slots)):
+            entry = slots[position]
+            # ``_state`` read directly: the property indirection is
+            # measurable at snapshot-walk frequency.
+            if entry is None or entry._state not in _PENDING_STATES:
                 continue
             result.append(entry)
             if window is not None and len(result) >= window:
                 break
-        return result
+        self._snap = tuple(result)
+        self._snap_window = window
+        self._snap_version = self._version
+        return self._snap
 
     @property
     def oldest_submit_time(self) -> float | None:
         """Submit time of the oldest pending entry (None when empty)."""
-        self._prune()
-        for entry in self._entries:
-            if entry.state in _PENDING_STATES:
-                return entry.submit_time
-        return None
+        if self._oldest_version != self._version:
+            self._prune()
+            oldest = None
+            slots = self._slots
+            for position in range(self._head, len(slots)):
+                entry = slots[position]
+                if entry is not None and entry._state in _PENDING_STATES:
+                    oldest = entry.submit_time
+                    break
+            self._oldest = oldest
+            self._oldest_version = self._version
+        return self._oldest
 
     @property
     def pending_bytes(self) -> int:
-        """Total remaining bytes over all pending entries."""
-        return sum(e.remaining for e in self.pending())
+        """Total remaining bytes over all pending entries (O(1))."""
+        return self._pending_bytes
 
     def __len__(self) -> int:
-        return len(self.pending())
+        return self._pending_count
 
     def __bool__(self) -> bool:
-        self._prune()
-        return any(e.state in _PENDING_STATES for e in self._entries)
+        return self._pending_count > 0
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def recount(self) -> tuple[int, int, float | None]:
+        """Brute-force ``(count, bytes, oldest)`` over the live entries.
+
+        The ground truth the incremental counters must equal; used by
+        the property tests, never by the hot path.
+        """
+        count = 0
+        total = 0
+        oldest: float | None = None
+        for entry in self._slots[self._head :]:
+            if entry is None or entry._state not in _PENDING_STATES:
+                continue
+            count += 1
+            total += entry.remaining
+            if oldest is None:
+                oldest = entry.submit_time
+        return count, total, oldest
 
 
 class WaitingLists:
-    """All channel queues of one engine."""
+    """All channel queues of one engine.
+
+    Cross-channel totals are maintained by the queues themselves (see
+    :meth:`ChannelQueue._account`), so backlog probes — the engine's
+    activation trace, the auto strategy's regime switch, the runtime
+    sampler — are O(1) instead of O(backlog).
+    """
+
+    __slots__ = ("_queues", "_total_pending", "_total_pending_bytes", "_order")
 
     def __init__(self) -> None:
         self._queues: dict[int, ChannelQueue] = {}
+        self._total_pending = 0
+        self._total_pending_bytes = 0
+        self._order: list[ChannelQueue] | None = None  # channel-id order
 
     def queue(self, channel_id: int) -> ChannelQueue:
         """The queue for a channel, created on first use."""
-        if channel_id not in self._queues:
-            self._queues[channel_id] = ChannelQueue(channel_id)
-        return self._queues[channel_id]
+        q = self._queues.get(channel_id)
+        if q is None:
+            q = ChannelQueue(channel_id, lists=self)
+            self._queues[channel_id] = q
+            self._order = None
+        return q
 
     def enqueue(self, entry: SubmitEntry, channel_id: int) -> None:
         """Append an entry to its channel's queue."""
@@ -107,20 +324,24 @@ class WaitingLists:
 
     def non_empty(self) -> Iterator[ChannelQueue]:
         """Queues with at least one pending entry, in channel-id order."""
-        for channel_id in sorted(self._queues):
-            q = self._queues[channel_id]
-            if q:
+        order = self._order
+        if order is None:
+            order = self._order = [
+                self._queues[channel_id] for channel_id in sorted(self._queues)
+            ]
+        for q in order:
+            if q._pending_count:
                 yield q
 
     @property
     def total_pending(self) -> int:
-        """Pending entries across all channels."""
-        return sum(len(q) for q in self._queues.values())
+        """Pending entries across all channels (O(1))."""
+        return self._total_pending
 
     @property
     def total_pending_bytes(self) -> int:
-        """Pending bytes across all channels."""
-        return sum(q.pending_bytes for q in self._queues.values())
+        """Pending bytes across all channels (O(1))."""
+        return self._total_pending_bytes
 
     @property
     def oldest_submit_time(self) -> float | None:
@@ -128,9 +349,9 @@ class WaitingLists:
         times = [
             t
             for q in self._queues.values()
-            if (t := q.oldest_submit_time) is not None
+            if q._pending_count and (t := q.oldest_submit_time) is not None
         ]
         return min(times) if times else None
 
     def __bool__(self) -> bool:
-        return any(q for q in self._queues.values())
+        return self._total_pending > 0

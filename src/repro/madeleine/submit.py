@@ -18,7 +18,13 @@ from repro.madeleine.message import Flow, Fragment, Message
 from repro.network.virtual import TrafficClass
 from repro.util.errors import ConfigurationError
 
-__all__ = ["EntryKind", "EntryState", "SubmitEntry", "CONTROL_ENTRY_SIZE"]
+__all__ = [
+    "EntryKind",
+    "EntryState",
+    "PENDING_ENTRY_STATES",
+    "SubmitEntry",
+    "CONTROL_ENTRY_SIZE",
+]
 
 _entry_ids = itertools.count()
 
@@ -44,6 +50,11 @@ class EntryState(enum.Enum):
     SENT = "sent"  #: fully handed to a NIC
 
 
+#: States in which an entry is visible to (and schedulable by) the
+#: waiting lists.  The queues' incremental accounting keys off this set.
+PENDING_ENTRY_STATES = frozenset((EntryState.WAITING, EntryState.RDV_READY))
+
+
 class SubmitEntry:
     """One schedulable unit.
 
@@ -51,12 +62,18 @@ class SubmitEntry:
     track partial dispatch (multirail striping sends slices).  Control
     entries carry protocol fields in ``meta`` (``token``, ``size``)
     instead of a fragment.
+
+    An entry knows the :class:`~repro.core.waiting.ChannelQueue` holding
+    it (``_owner``, maintained by the queue itself): state transitions
+    and byte consumption notify the owner so the queue's pending
+    count/bytes counters stay exact without ever re-walking the queue.
     """
 
     __slots__ = (
         "entry_id",
         "kind",
-        "state",
+        "_state",
+        "_owner",
         "flow",
         "dst",
         "traffic_class",
@@ -86,7 +103,8 @@ class SubmitEntry:
             raise ConfigurationError(f"{kind.value} entries must not carry a fragment")
         self.entry_id: int = next(_entry_ids)
         self.kind = kind
-        self.state = EntryState.WAITING
+        self._state = EntryState.WAITING
+        self._owner = None  # ChannelQueue holding this entry, if any
         self.flow = flow
         self.dst = dst
         if traffic_class is not None:
@@ -101,6 +119,24 @@ class SubmitEntry:
         self.offset = 0
         self.remaining = fragment.size if fragment is not None else CONTROL_ENTRY_SIZE
         self.meta: dict[str, Any] = meta if meta is not None else {}
+
+    # ------------------------------------------------------------------
+    # lifecycle (owner-notifying)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> EntryState:
+        """Lifecycle state; assignment notifies the owning queue."""
+        return self._state
+
+    @state.setter
+    def state(self, value: EntryState) -> None:
+        old = self._state
+        if value is old:
+            return
+        self._state = value
+        owner = self._owner
+        if owner is not None:
+            owner._note_state_change(self, old, value)
 
     # ------------------------------------------------------------------
     # classification helpers used by strategies
@@ -125,7 +161,7 @@ class SubmitEntry:
         """
         if self.is_control:
             return False
-        if self.state is EntryState.RDV_READY:
+        if self._state is EntryState.RDV_READY:
             return False
         if self.fragment is not None and self.fragment.mode.value == "safer":
             return False
@@ -149,6 +185,9 @@ class SubmitEntry:
         start = self.offset
         self.offset += n_bytes
         self.remaining -= n_bytes
+        owner = self._owner
+        if owner is not None and self._state in PENDING_ENTRY_STATES:
+            owner._note_bytes_consumed(n_bytes)
         if self.remaining == 0:
             self.state = EntryState.SENT
         return start

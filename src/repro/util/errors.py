@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "InternalError",
     "SimulationError",
     "ConstraintViolation",
     "CapabilityError",
@@ -29,6 +30,16 @@ class ConfigurationError(ReproError):
 
     Examples: a negative link bandwidth, a lookahead window of zero, a
     traffic class mapped to a channel that does not exist.
+    """
+
+
+class InternalError(ReproError):
+    """A library invariant was violated — a bug in :mod:`repro` itself.
+
+    Unlike :class:`ConfigurationError` this never indicates user error:
+    it fires when internal bookkeeping disagrees with itself, e.g. an
+    engine removing a waiting-list entry from a queue that does not hold
+    it, or incremental counters drifting from the entries they summarize.
     """
 
 

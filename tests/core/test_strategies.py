@@ -126,3 +126,46 @@ class TestBehaviouralContrasts:
         report = run_many_small(lambda: AggregationStrategy(max_items=2))
         # At most 2 segments per packet -> ratio can't exceed 2.
         assert report.aggregation_ratio <= 2.0 + 1e-9
+
+
+class TestSearchBudgetAccounting:
+    """The bounded search must not burn budget on impossible seeds."""
+
+    def _loaded_single_flow_engine(self, n_entries, budget):
+        holder = []
+
+        def factory():
+            strategy = BoundedSearchStrategy(budget=budget)
+            holder.append(strategy)
+            return strategy
+
+        from tests.core.helpers import data_entry
+        from repro.madeleine.message import Flow
+
+        cluster = Cluster(seed=0, strategy=factory)
+        engine = cluster.engine("n0")
+        flow = Flow("f", "n0", "n1")
+        for _ in range(n_entries):
+            engine._enqueue(data_entry(flow, 256))
+        return engine, holder[0]
+
+    def test_exhausted_queue_stops_consuming_budget(self):
+        # A single non-deferrable flow: skipping the head (seed >= 1)
+        # blocks every later entry of the flow, so only seed 0 can ever
+        # produce a plan.  The search must charge the widths of seed 0
+        # plus exactly ONE probe discovering that seed 1 is impossible,
+        # then move on — not one probe per remaining seed.
+        engine, strategy = self._loaded_single_flow_engine(n_entries=8, budget=32)
+        driver = engine.drivers[0]
+        plan = strategy.make_plan(engine, driver)
+        assert plan is not None
+        n_widths = len(BoundedSearchStrategy._widths(driver.max_segments_per_packet()))
+        assert strategy.last_evaluated == n_widths + 1
+        assert strategy.candidates_evaluated == strategy.last_evaluated
+
+    def test_budget_still_caps_evaluations(self):
+        engine, strategy = self._loaded_single_flow_engine(n_entries=8, budget=2)
+        driver = engine.drivers[0]
+        plan = strategy.make_plan(engine, driver)
+        assert plan is not None
+        assert strategy.last_evaluated == 2

@@ -5,7 +5,7 @@ import pytest
 from repro.core.waiting import ChannelQueue, WaitingLists
 from repro.madeleine.message import Flow
 from repro.madeleine.submit import EntryState
-from repro.util.errors import ConfigurationError
+from repro.util.errors import InternalError
 
 from tests.core.helpers import data_entry
 
@@ -63,8 +63,65 @@ class TestChannelQueue:
 
     def test_remove_missing_rejected(self, flow):
         q = ChannelQueue(0)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(InternalError):
             q.remove(data_entry(flow, 10))
+
+    def test_double_append_rejected(self, flow):
+        q0, q1 = ChannelQueue(0), ChannelQueue(1)
+        e = data_entry(flow, 10)
+        q0.append(e)
+        with pytest.raises(InternalError):
+            q1.append(e)
+
+    def test_counters_track_consume_and_state(self, flow):
+        q = ChannelQueue(0)
+        a, b = data_entry(flow, 100), data_entry(flow, 60)
+        q.append(a)
+        q.append(b)
+        assert (len(q), q.pending_bytes) == (2, 160)
+        a.consume(40)  # partial dispatch (striping slice)
+        assert (len(q), q.pending_bytes) == (2, 120)
+        a.consume(60)  # SENT
+        assert (len(q), q.pending_bytes) == (1, 60)
+        b.state = EntryState.RDV_PENDING  # parked in place
+        assert (len(q), q.pending_bytes) == (0, 0)
+        b.state = EntryState.RDV_READY  # ACK arrived
+        assert (len(q), q.pending_bytes) == (1, 60)
+        assert q.recount() == (1, 60, b.submit_time)
+
+    def test_version_bumps_on_mutation(self, flow):
+        q = ChannelQueue(0)
+        v0 = q.version
+        e = data_entry(flow, 10)
+        q.append(e)
+        v1 = q.version
+        assert v1 > v0
+        e.consume(4)
+        v2 = q.version
+        assert v2 > v1
+        q.remove(e)
+        assert q.version > v2
+
+    def test_pending_snapshot_cached_until_mutation(self, flow):
+        q = ChannelQueue(0)
+        entries = [data_entry(flow, 10) for _ in range(4)]
+        for e in entries:
+            q.append(e)
+        assert q.pending(2) == entries[:2]
+        # Narrower window served from the cached snapshot.
+        assert q.pending(1) == entries[:1]
+        q.append(data_entry(flow, 10))
+        assert len(q.pending()) == 5
+
+    def test_compaction_preserves_order(self, flow):
+        q = ChannelQueue(0)
+        entries = [data_entry(flow, 10) for _ in range(200)]
+        for e in entries:
+            q.append(e)
+        for e in entries[:150]:  # force compaction via many removals
+            q.remove(e)
+        assert q.pending() == entries[150:]
+        assert q.recount() == (50, 500, entries[150].submit_time)
 
     def test_oldest_submit_time(self, flow):
         q = ChannelQueue(0)

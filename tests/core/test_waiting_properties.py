@@ -81,3 +81,85 @@ class TestChannelQueueProperties:
         assert lists.total_pending_bytes == 10 * len(channels)
         seen = [q.channel_id for q in lists.non_empty()]
         assert seen == sorted(set(channels))
+
+
+@st.composite
+def lifecycle_programs(draw):
+    """A random program over the engine's entry-lifecycle repertoire.
+
+    Each instruction is ``(op, channel, pick, size)``; ``pick`` indexes
+    modularly into whatever population the op acts on, so every drawn
+    program is executable regardless of interleaving.
+    """
+    n = draw(st.integers(min_value=1, max_value=50))
+    return [
+        (
+            draw(st.sampled_from(["append", "dispatch", "slice", "park", "ack", "fail"])),
+            draw(st.integers(min_value=0, max_value=1)),
+            draw(st.integers(min_value=0, max_value=7)),
+            draw(st.integers(min_value=1, max_value=500)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestIncrementalAccounting:
+    """The O(1) counters must always equal brute-force recomputation."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(program=lifecycle_programs())
+    def test_counters_equal_recount(self, program):
+        flow = Flow("f", "n0", "n1")
+        lists = WaitingLists()
+        channels = (lists.queue(0), lists.queue(1))
+        parked = []  # (entry, channel_id) pairs, as the engine keeps them
+        clock = 0.0
+        for op, channel_id, pick, size in program:
+            queue = channels[channel_id]
+            pending = queue.pending()
+            clock += 1e-6
+            if op == "append":
+                lists.enqueue(data_entry(flow, size, submit_time=clock), channel_id)
+            elif op == "dispatch" and pending:
+                # engine._dispatch: consume (may transition to SENT
+                # while still owned), then remove.
+                entry = pending[pick % len(pending)]
+                entry.consume(entry.remaining)
+                queue.remove(entry)
+            elif op == "slice" and pending:
+                # Multirail striping: partial consume, entry stays.
+                entry = pending[pick % len(pending)]
+                if entry.remaining > 1:
+                    entry.consume(max(entry.remaining // 2, 1))
+            elif op == "park" and pending:
+                # engine.park_for_rendezvous: remove, then flip state.
+                entry = pending[pick % len(pending)]
+                if entry.state is EntryState.WAITING:
+                    queue.remove(entry)
+                    entry.state = EntryState.RDV_PENDING
+                    parked.append((entry, channel_id))
+            elif op == "ack" and parked:
+                # engine._handle_rdv_ack: ready + re-enqueue.
+                entry, origin = parked.pop(pick % len(parked))
+                entry.state = EntryState.RDV_READY
+                lists.enqueue(entry, origin)
+            elif op == "fail" and parked:
+                # engine._handle_rdv_timeout: back to eager chunking.
+                entry, origin = parked.pop(pick % len(parked))
+                entry.state = EntryState.WAITING
+                entry.meta["no_rdv"] = True
+                lists.enqueue(entry, origin)
+
+            # Invariant: every incremental aggregate equals the
+            # brute-force ground truth, after every single operation.
+            total_count = 0
+            total_bytes = 0
+            for q in channels:
+                count, n_bytes, oldest = q.recount()
+                assert len(q) == count
+                assert q.pending_bytes == n_bytes
+                assert q.oldest_submit_time == oldest
+                total_count += count
+                total_bytes += n_bytes
+            assert lists.total_pending == total_count
+            assert lists.total_pending_bytes == total_bytes
