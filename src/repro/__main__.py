@@ -4,6 +4,9 @@ Usage::
 
     python -m repro info                 # versions, technologies, strategies
     python -m repro run scenario.json    # execute a declarative scenario
+    python -m repro run scenario.json --trace-out trace.json \
+        --metrics-out metrics.prom --sample-interval 1e-5
+    python -m repro obs analyze trace.json   # timelines + decision summary
     python -m repro bench [ids] [--quick]  # alias for python -m repro.bench
 """
 
@@ -73,6 +76,13 @@ def _cmd_run(args) -> int:
             merged = dict(scenario.get("faults", {}))
             merged.update(override)
             scenario["faults"] = merged
+    if args.trace_out or args.metrics_out or args.sample_interval is not None:
+        obs_spec = dict(scenario.get("observability", {}))
+        if args.sample_interval is not None:
+            obs_spec["sample_interval"] = args.sample_interval
+        if args.trace_out:
+            obs_spec["trace"] = True  # the explicit flag beats the scenario
+        scenario["observability"] = obs_spec
     report, cluster, apps = run_scenario(scenario)
     name = scenario.get("name", args.scenario)
     print(f"== scenario: {name} ==")
@@ -107,11 +117,31 @@ def _cmd_run(args) -> int:
         latencies_us = [r.latency * 1e6 for r in cluster.metrics.records]
         print("latency histogram (us):")
         print(ascii_histogram(latencies_us, fmt="{:.1f}"))
+    plane = cluster.obs
+    if plane is not None:
+        plane.finalize()
+        if plane.sink is not None and plane.sink.dropped:
+            print(
+                f"flight recorder      : kept {len(plane.sink.events)} of "
+                f"{plane.sink.seen} events (oldest evicted)"
+            )
+        if args.trace_out:
+            fmt = plane.write_trace(args.trace_out)
+            print(f"trace written        : {args.trace_out} ({fmt})")
+        if args.metrics_out:
+            plane.write_metrics(args.metrics_out)
+            print(f"metrics written      : {args.metrics_out} (prometheus)")
     incomplete = [a.name for a in apps if not a.done.done]
     if incomplete:
         print(f"WARNING: workloads not finished: {incomplete}")
         return 1
     return 0
+
+
+def _cmd_obs_analyze(args) -> int:
+    from repro.obs.analyze import main as analyze_main
+
+    return analyze_main(args)
 
 
 def _cmd_bench(args) -> int:
@@ -146,7 +176,40 @@ def main(argv: list[str] | None = None) -> int:
             "key=val pairs, e.g. --faults drop=0.05,duplicate=0.01,seed=7"
         ),
     )
+    run_parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "write the captured trace: .jsonl/.ndjson for JSON Lines, "
+            "anything else for Chrome trace JSON (open in ui.perfetto.dev)"
+        ),
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write end-of-run metrics as Prometheus text exposition",
+    )
+    run_parser.add_argument(
+        "--sample-interval",
+        type=float,
+        metavar="SECONDS",
+        help="periodic time-series sample interval in simulated seconds",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    obs_parser = subparsers.add_parser("obs", help="observability tools")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    analyze_parser = obs_sub.add_parser(
+        "analyze", help="reconstruct timelines + decision summary from a trace"
+    )
+    analyze_parser.add_argument("trace", help="trace file (.jsonl or Chrome JSON)")
+    analyze_parser.add_argument(
+        "--width", type=int, default=60, help="sparkline width in columns"
+    )
+    analyze_parser.add_argument(
+        "--top", type=int, default=5, help="channels to list in the miss summary"
+    )
+    analyze_parser.set_defaults(func=_cmd_obs_analyze)
 
     bench_parser = subparsers.add_parser("bench", help="run experiments")
     bench_parser.add_argument("experiments", nargs="*", metavar="ID")

@@ -47,6 +47,7 @@ __all__ = [
     "queue_op_rates",
     "run_suite",
     "scored_candidates_rate",
+    "tracing_overhead",
     "check_regressions",
 ]
 
@@ -55,6 +56,14 @@ DEPTHS = (16, 64, 256, 1024)
 
 #: Regression threshold the CI gate enforces (fraction of baseline).
 MAX_REGRESSION = 0.25
+
+#: Allowed decision-rate overhead of the disabled observability plane
+#: (NullTracer, no sinks) over the bare-guard floor.
+TRACE_NULL_OVERHEAD = 0.02
+
+#: Allowed decision-rate overhead of full tracing (ring sink subscribed,
+#: explain collection + decide records live) over the disabled plane.
+TRACE_FULL_OVERHEAD = 0.15
 
 #: Default location of the emitted results (repository root).
 RESULT_FILE = "BENCH_kernel.json"
@@ -262,6 +271,91 @@ def drain_rate(depth: int, *, repeats: int = 5) -> float:
     return _best_rate(work, repeats)
 
 
+class _InertTracer:
+    """The cheapest possible tracer: one attribute, always off.
+
+    The floor the NullTracer fast path is gated against — if ``enabled``
+    ever grows back into a property (or the guard sites start doing work
+    before checking it), the ``off`` rate falls measurably below this.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+def tracing_overhead(
+    depth: int = 256, *, iterations: int = 100, repeats: int = 7
+) -> dict[str, float]:
+    """Decision-rate cost of the observability plane at one backlog depth.
+
+    Three configurations, measured interleaved (one timed round of each
+    per repeat, best-of-N per configuration) so scheduler drift hits all
+    three alike:
+
+    * ``inert`` — the engine's tracer swapped for :class:`_InertTracer`:
+      the bare cost of the guard branches;
+    * ``off``   — the production default: NullTracer, no sinks,
+      ``enabled`` False;
+    * ``full``  — a :class:`~repro.obs.recorder.RingBufferSink`
+      subscribed: explain collection, score breakdowns, and one
+      ``optimizer.decide`` record per decision, retained in the ring.
+
+    Every loop replicates the pump's emission guard, so ``full`` pays
+    for the decide record exactly as a traced run does.  Returns the
+    three rates plus ``overhead_off`` (off vs inert) and
+    ``overhead_full`` (full vs off) as fractions.
+    """
+    from repro.obs.recorder import RingBufferSink
+
+    def setup(traced: bool):
+        cluster = build_loaded_cluster(
+            depth,
+            strategy=lambda: BoundedSearchStrategy(budget=64),
+            config=EngineConfig(lookahead_window=32),
+        )
+        engine = cluster.engine("n0")
+        if traced:
+            cluster.sim.tracer.subscribe(RingBufferSink(4096))
+        return engine
+
+    engines = {
+        "inert": setup(traced=False),
+        "off": setup(traced=False),
+        "full": setup(traced=True),
+    }
+    engines["inert"].sim.tracer = _InertTracer()  # type: ignore[assignment]
+
+    def one_round(engine) -> float:
+        driver = engine.drivers[0]
+        queues = list(engine.waiting.non_empty())
+        tracer = engine.sim.tracer
+        start = time.perf_counter()
+        for _ in range(iterations):
+            plan = engine.strategy.make_plan(engine, driver)
+            assert plan is not None
+            if tracer.enabled:
+                engine._emit_decide(plan, tracer)
+            for queue in queues:
+                _bump_version(queue)
+        elapsed = time.perf_counter() - start
+        return iterations / elapsed if elapsed > 0 else 0.0
+
+    best = {name: 0.0 for name in engines}
+    for _ in range(repeats):
+        for name, engine in engines.items():
+            best[name] = max(best[name], one_round(engine))
+
+    return {
+        f"inert/d{depth}": best["inert"],
+        f"off/d{depth}": best["off"],
+        f"full/d{depth}": best["full"],
+        "overhead_off": 1.0 - best["off"] / best["inert"] if best["inert"] else 0.0,
+        "overhead_full": 1.0 - best["full"] / best["off"] if best["off"] else 0.0,
+    }
+
+
 def run_suite(
     depths: tuple[int, ...] = DEPTHS, *, quick: bool = False
 ) -> dict[str, float]:
@@ -351,7 +445,46 @@ def main(argv: list[str] | None = None) -> int:
         help="rewrite the baseline file with this run's results",
     )
     parser.add_argument("--quick", action="store_true", help="reduced depths/iterations")
+    parser.add_argument(
+        "--trace-gate",
+        action="store_true",
+        help=(
+            f"measure observability overhead and exit 1 when the disabled "
+            f"plane costs >{TRACE_NULL_OVERHEAD:.0%} or full tracing costs "
+            f">{TRACE_FULL_OVERHEAD:.0%} decision rate"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_gate:
+        rates = tracing_overhead(iterations=40 if args.quick else 100)
+        print("== observability overhead (search decisions/s, d256, best-of-N) ==")
+        for name, value in rates.items():
+            if name.startswith("overhead"):
+                print(f"  {name:<16} {value:8.2%}")
+            else:
+                print(f"  {name:<16} {value:12,.0f}/s")
+        failures = []
+        if rates["overhead_off"] > TRACE_NULL_OVERHEAD:
+            failures.append(
+                f"disabled plane costs {rates['overhead_off']:.2%} decision rate "
+                f"(gate {TRACE_NULL_OVERHEAD:.0%})"
+            )
+        if rates["overhead_full"] > TRACE_FULL_OVERHEAD:
+            failures.append(
+                f"full tracing costs {rates['overhead_full']:.2%} decision rate "
+                f"(gate {TRACE_FULL_OVERHEAD:.0%})"
+            )
+        if failures:
+            print("\ntracing overhead gate failed:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"within gates (off <= {TRACE_NULL_OVERHEAD:.0%}, "
+            f"full <= {TRACE_FULL_OVERHEAD:.0%})"
+        )
+        return 0
 
     metrics = run_suite(quick=args.quick)
     print("== kernel micro-benchmarks (ops per wall-second, best of 3) ==")

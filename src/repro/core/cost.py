@@ -96,3 +96,34 @@ class CostModel:
         )
         boost = 1.0 + min(max(oldest_wait, 0.0) / self.starvation_horizon, 1.0)
         return density * boost
+
+    def breakdown(self, plan: TransferPlan, now: float) -> dict[str, float]:
+        """The :meth:`score` computation, term by term.
+
+        Explainability only (the ``optimizer.decide`` trace record) —
+        never called on the NullTracer fast path, so it repeats the
+        arithmetic instead of complicating :meth:`score`.
+        """
+        driver = plan.driver
+        size, mode, aggregation = self._assembly(plan)
+        occupancy = driver.occupancy(size, mode, aggregation)
+        payload = float(plan.payload_bytes)
+        control_bonus = self.control_bonus_bytes if plan.kind.is_control else 0.0
+        link = driver.nic.link
+        saved = len(plan.items) * link.startup(mode) * link.bandwidth(mode)
+        density = (payload + control_bonus + saved) / occupancy
+        oldest_wait = max(
+            (now - item.entry.submit_time for item in plan.items), default=0.0
+        )
+        boost = 1.0 + min(max(oldest_wait, 0.0) / self.starvation_horizon, 1.0)
+        return {
+            "wire_bytes": float(size),
+            "payload_bytes": payload,
+            "control_bonus_bytes": control_bonus,
+            "startup_saved_bytes": saved,
+            "occupancy_s": occupancy,
+            "density": density,
+            "oldest_wait_s": oldest_wait,
+            "staleness_boost": boost,
+            "score": density * boost,
+        }

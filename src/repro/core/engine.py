@@ -249,6 +249,8 @@ class CommEngineBase:
                     epoch = self._enqueue_epoch
                     decision = self.strategy.make_plan(self, driver)
                     if isinstance(decision, TransferPlan):
+                        if tracer.enabled:
+                            self._emit_decide(decision, tracer)
                         self._dispatch(decision)
                     elif isinstance(decision, Hold):
                         self.stats.holds += 1
@@ -260,6 +262,31 @@ class CommEngineBase:
                         break
         finally:
             self._pumping = False
+
+    def _emit_decide(self, plan: TransferPlan, tracer) -> None:
+        """One ``optimizer.decide`` record per dispatch (tracing only).
+
+        Emitted *before* :meth:`_dispatch` consumes the plan's entries so
+        the score breakdown reflects the state the decision was made in.
+        Never reached on the NullTracer fast path — callers guard on
+        ``tracer.enabled``.
+        """
+        detail: dict = {
+            "strategy": type(self.strategy).name,
+            "packet_kind": plan.kind.value,
+            "channel": plan.channel_id,
+            "items": len(plan.items),
+            "bytes": plan.payload_bytes,
+            "nic": plan.driver.name,
+            "dst": plan.dst,
+            "score": self.cost.breakdown(plan, self.sim.now),
+        }
+        explain = self.strategy.explain_last()
+        if explain:
+            detail.update(explain)
+        tracer.emit(
+            self.sim.now, f"engine:{self.node_name}", "optimizer.decide", **detail
+        )
 
     def _dispatch(self, plan: TransferPlan) -> None:
         """Turn a plan into a wire packet and hand it to the driver."""
@@ -574,6 +601,11 @@ class CommEngineBase:
     def rendezvous_in_flight(self) -> int:
         """Rendezvous handshakes awaiting acknowledgement."""
         return len(self._rdv_pending)
+
+    @property
+    def hold_timer_armed(self) -> bool:
+        """Whether a Nagle hold timer is currently pending."""
+        return self._hold_timer is not None
 
     @property
     def deferred_rendezvous(self) -> int:

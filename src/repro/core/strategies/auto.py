@@ -69,12 +69,24 @@ class AutoStrategy(Strategy):
         )
         #: regime name → times selected (for tests and reporting).
         self.selections: dict[str, int] = {"deep": 0, "sparse": 0}
+        self._last_regime = "sparse"
 
     def make_plan(
         self, engine: "CommEngineBase", driver: Driver
     ) -> TransferPlan | Hold | None:
         if engine.waiting.total_pending >= self.deep_backlog:
             self.selections["deep"] += 1
+            self._last_regime = "deep"
             return self._aggregate.make_plan(engine, driver)
         self.selections["sparse"] += 1
+        self._last_regime = "sparse"
         return self._nagle.make_plan(engine, driver)
+
+    def explain_last(self):
+        inner = (
+            self._aggregate if self._last_regime == "deep" else self._nagle
+        ).explain_last()
+        explain = {"regime": self._last_regime}
+        if inner:
+            explain.update(inner)
+        return explain

@@ -39,6 +39,17 @@ class Strategy(abc.ABC):
     ) -> TransferPlan | Hold | None:
         """Build the next packet for an idle driver (see class docs)."""
 
+    def explain_last(self) -> "dict[str, Any] | None":
+        """Explainability fields of the most recent ``make_plan`` call.
+
+        The engine merges the result into the ``optimizer.decide`` trace
+        record it emits per dispatch — only when tracing is enabled, so
+        implementations may (and should) skip collecting anything while
+        ``engine.sim.tracer.enabled`` is false.  The base returns
+        ``None``: no strategy-specific fields.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 

@@ -62,6 +62,7 @@ class BoundedSearchStrategy(Strategy):
         # valid for one instant of simulated time.
         self._score_cache: dict[tuple, tuple[float, TransferPlan]] = {}
         self._cache_now: float | None = None
+        self._last_explain: dict | None = None
 
     def make_plan(
         self, engine: "CommEngineBase", driver: Driver
@@ -83,7 +84,13 @@ class BoundedSearchStrategy(Strategy):
 
         best: TransferPlan | None = None
         best_score = float("-inf")
+        best_meta: tuple | None = None
+        widest_seen = 0
         evaluated = 0
+        out_of_budget = False
+        # Explainability is collected only while a trace sink is live;
+        # with the NullTracer the extra work is two dead branches.
+        explain = engine.sim.tracer.enabled
         full_width = driver.max_segments_per_packet()
         widths = self._widths(full_width)
         try:
@@ -93,7 +100,8 @@ class BoundedSearchStrategy(Strategy):
                 version = queue.version
                 for seed in range(len(pending)):
                     if evaluated >= budget:
-                        return best
+                        out_of_budget = True
+                        break
                     base = build_from_queue(
                         engine,
                         driver,
@@ -112,11 +120,14 @@ class BoundedSearchStrategy(Strategy):
                         # seeds.
                         break
                     base_items = len(base.items)
+                    if explain and base_items > widest_seen:
+                        widest_seen = base_items
                     first = True
                     for width in widths:
                         if not first:
                             if evaluated >= budget:
-                                return best
+                                out_of_budget = True
+                                break
                             evaluated += 1
                         first = False
                         n_items = base_items if width >= base_items else width
@@ -138,10 +149,31 @@ class BoundedSearchStrategy(Strategy):
                         score, candidate = cached
                         if score > best_score:
                             best, best_score = candidate, score
+                            if explain:
+                                best_meta = (queue.channel_id, seed, n_items)
+                    if out_of_budget:
+                        break
+                if out_of_budget:
+                    break
             return best
         finally:
             self.last_evaluated = evaluated
             self.candidates_evaluated += evaluated
+            if explain:
+                self._last_explain = {
+                    "candidates": evaluated,
+                    "budget": budget,
+                    "truncation": "budget" if out_of_budget else "exhausted",
+                    "widest_items": widest_seen,
+                    "best_score": best_score if best is not None else None,
+                    "seed_channel": best_meta[0] if best_meta else None,
+                    "seed": best_meta[1] if best_meta else None,
+                }
+            else:
+                self._last_explain = None
+
+    def explain_last(self) -> dict | None:
+        return self._last_explain
 
     @staticmethod
     def _widths(full_width: int) -> tuple[int, ...]:

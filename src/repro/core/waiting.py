@@ -322,6 +322,11 @@ class WaitingLists:
         """Append an entry to its channel's queue."""
         self.queue(channel_id).append(entry)
 
+    def queues(self) -> list[ChannelQueue]:
+        """Every queue ever created (empty ones included), in channel-id
+        order — the observability sampler's per-channel walk."""
+        return [self._queues[channel_id] for channel_id in sorted(self._queues)]
+
     def non_empty(self) -> Iterator[ChannelQueue]:
         """Queues with at least one pending entry, in channel-id order."""
         order = self._order

@@ -1,0 +1,46 @@
+"""The observability plane (see docs/ARCHITECTURE.md §11).
+
+Turns the per-component :class:`~repro.util.tracing.Tracer` hook into a
+full observability subsystem: a metrics registry with Prometheus text
+export, a periodic time-series sampler, decision-explainability
+records from the optimizer, Chrome-trace/JSONL exporters (open the
+result in https://ui.perfetto.dev), a bounded flight-recorder capture
+mode, and a post-run analysis CLI.
+
+Quick use::
+
+    from repro.obs import ObservabilityConfig, ObservabilityPlane
+
+    plane = ObservabilityPlane(ObservabilityConfig(sample_interval=1e-5))
+    cluster = Cluster(...)
+    plane.install(cluster)
+    cluster.run_until_idle()
+    plane.finalize()
+    plane.write_trace("trace.json")      # Chrome/Perfetto format
+    plane.write_metrics("metrics.prom")  # Prometheus text exposition
+
+or declaratively via a scenario's ``"observability"`` block and the
+``python -m repro run … --trace-out/--metrics-out`` flags.
+"""
+
+from repro.obs.export import load_events, to_chrome_trace, write_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
+from repro.obs.recorder import ListSink, RingBufferSink
+from repro.obs.sampler import ObservabilitySampler, ObsSample
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ListSink",
+    "MetricsRegistry",
+    "ObsSample",
+    "ObservabilityConfig",
+    "ObservabilityPlane",
+    "ObservabilitySampler",
+    "RingBufferSink",
+    "load_events",
+    "to_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,257 @@
+"""Post-run trace analysis: ``python -m repro obs analyze trace.jsonl``.
+
+Reads a trace exported by the observability plane (either the JSONL or
+the Chrome trace-event format) and reconstructs the run's story:
+
+* **queue-depth timelines** — total and per-node pending entries over
+  time, from the sampler's ``obs.sample`` records;
+* **NIC utilization timelines** — per-NIC busy fraction per sample
+  interval;
+* an **aggregation-opportunity miss summary** — from the optimizer's
+  ``optimizer.decide`` records: how many dispatches had a *wider*
+  candidate plan available (more segments aggregated) that lost on
+  score, how the search budget was spent, and which channels leave the
+  most aggregation on the table.
+
+Everything renders as ASCII so it works over SSH next to the
+simulation; open the same file in https://ui.perfetto.dev for the
+interactive version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.export import load_events
+from repro.util.tracing import TraceEvent
+from repro.util.units import format_time
+
+__all__ = ["TraceAnalysis", "analyze_events", "analyze_file", "main"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], width: int = 60) -> str:
+    """Downsample to ``width`` buckets (bucket mean) and render blocks."""
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max((i + 1) * len(values) // width, lo + 1)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    top = max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    return "".join(_BLOCKS[min(int(v / top * (len(_BLOCKS) - 1)), 7)] for v in values)
+
+
+@dataclass
+class _Series:
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def add(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def peak(self) -> tuple[float, float]:
+        """(time, value) of the maximum (0, 0 when empty)."""
+        if not self.values:
+            return (0.0, 0.0)
+        i = max(range(len(self.values)), key=self.values.__getitem__)
+        return (self.times[i], self.values[i])
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything ``analyze`` learned from one trace."""
+
+    n_events: int = 0
+    kinds: dict[str, int] = field(default_factory=dict)
+    span: tuple[float, float] = (0.0, 0.0)
+    #: total backlog entries over time (from obs.sample).
+    backlog: _Series = field(default_factory=_Series)
+    #: node -> queue-depth series.
+    node_depth: dict[str, _Series] = field(default_factory=dict)
+    #: NIC -> busy-fraction series.
+    nic_busy: dict[str, _Series] = field(default_factory=dict)
+    retransmits: _Series = field(default_factory=_Series)
+    #: decide-record accounting.
+    decides: int = 0
+    misses: int = 0
+    width_sum: float = 0.0
+    widest_sum: float = 0.0
+    truncation: dict[str, int] = field(default_factory=dict)
+    #: "node/channel" -> misses.
+    miss_by_channel: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def miss_fraction(self) -> float:
+        return self.misses / self.decides if self.decides else 0.0
+
+
+def analyze_events(events: list[TraceEvent]) -> TraceAnalysis:
+    """Run the full analysis over normalized trace events."""
+    analysis = TraceAnalysis()
+    analysis.n_events = len(events)
+    if events:
+        analysis.span = (events[0].time, max(e.time for e in events))
+    for event in events:
+        analysis.kinds[event.kind] = analysis.kinds.get(event.kind, 0) + 1
+        if event.kind == "obs.sample":
+            _ingest_sample(analysis, event)
+        elif event.kind == "optimizer.decide":
+            _ingest_decide(analysis, event)
+    return analysis
+
+
+def _ingest_sample(analysis: TraceAnalysis, event: TraceEvent) -> None:
+    detail = event.detail
+    t = event.time
+    backlog = detail.get("backlog")
+    if backlog is not None:
+        analysis.backlog.add(t, backlog)
+    per_node: dict[str, float] = {}
+    for key, pair in (detail.get("queues") or {}).items():
+        node = str(key).split("/", 1)[0]
+        per_node[node] = per_node.get(node, 0.0) + pair[0]
+    for node, depth in per_node.items():
+        analysis.node_depth.setdefault(node, _Series()).add(t, depth)
+    for nic_name, fraction in (detail.get("nic_busy") or {}).items():
+        analysis.nic_busy.setdefault(nic_name, _Series()).add(t, fraction)
+    retrans = detail.get("retransmits_in_flight")
+    if retrans is not None:
+        analysis.retransmits.add(t, retrans)
+
+
+def _ingest_decide(analysis: TraceAnalysis, event: TraceEvent) -> None:
+    detail = event.detail
+    analysis.decides += 1
+    items = detail.get("items", 0) or 0
+    widest = detail.get("widest_items")
+    analysis.width_sum += items
+    if widest is not None:
+        analysis.widest_sum += widest
+        if widest > items:
+            analysis.misses += 1
+            node = event.source.partition(":")[2]
+            channel = detail.get("channel", "?")
+            key = f"{node}/{channel}"
+            analysis.miss_by_channel[key] = analysis.miss_by_channel.get(key, 0) + 1
+    truncation = detail.get("truncation")
+    if truncation is not None:
+        analysis.truncation[truncation] = analysis.truncation.get(truncation, 0) + 1
+
+
+def analyze_file(path: str | Path) -> TraceAnalysis:
+    """Load a trace file (JSONL or Chrome JSON) and analyze it."""
+    return analyze_events(load_events(path))
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render(analysis: TraceAnalysis, *, width: int = 60, top: int = 5) -> str:
+    """ASCII report of an analysis: timelines + decision summary."""
+    lines: list[str] = []
+    t0, t1 = analysis.span
+    lines.append(
+        f"events: {analysis.n_events}  kinds: {len(analysis.kinds)}  "
+        f"span: {format_time(t0)} … {format_time(t1)}"
+    )
+
+    if analysis.backlog.values:
+        lines.append("")
+        lines.append("queue depth (pending entries):")
+        peak_t, peak_v = analysis.backlog.peak
+        lines.append(
+            f"  total {'':<10} {_sparkline(analysis.backlog.values, width)} "
+            f"peak {peak_v:.0f} @ {format_time(peak_t)}  mean {analysis.backlog.mean:.1f}"
+        )
+        for node in sorted(analysis.node_depth):
+            series = analysis.node_depth[node]
+            _, peak_v = series.peak
+            lines.append(
+                f"  {node:<16} {_sparkline(series.values, width)} "
+                f"peak {peak_v:.0f}  mean {series.mean:.1f}"
+            )
+    else:
+        lines.append("")
+        lines.append(
+            "queue depth: no obs.sample records "
+            "(run with observability.sample_interval or --sample-interval)"
+        )
+
+    if analysis.nic_busy:
+        lines.append("")
+        lines.append("NIC utilization (busy fraction per sample interval):")
+        for nic_name in sorted(analysis.nic_busy):
+            series = analysis.nic_busy[nic_name]
+            lines.append(
+                f"  {nic_name:<16} {_sparkline(series.values, width)} "
+                f"mean {series.mean:6.1%}"
+            )
+    if analysis.retransmits.values and max(analysis.retransmits.values) > 0:
+        lines.append("")
+        series = analysis.retransmits
+        lines.append(
+            f"retransmits in flight: {_sparkline(series.values, width)} "
+            f"peak {series.peak[1]:.0f}"
+        )
+
+    lines.append("")
+    lines.append("aggregation opportunities (optimizer.decide records):")
+    if analysis.decides:
+        lines.append(f"  dispatches with decide records : {analysis.decides}")
+        lines.append(
+            f"  wider plan existed but lost    : {analysis.misses} "
+            f"({analysis.miss_fraction:.1%})"
+        )
+        lines.append(
+            f"  mean winning width             : "
+            f"{analysis.width_sum / analysis.decides:.2f} segments"
+        )
+        if analysis.widest_sum:
+            lines.append(
+                f"  mean widest candidate          : "
+                f"{analysis.widest_sum / analysis.decides:.2f} segments"
+            )
+        if analysis.truncation:
+            spent = "  ".join(
+                f"{reason}={count}" for reason, count in sorted(analysis.truncation.items())
+            )
+            lines.append(f"  search stopped by              : {spent}")
+        if analysis.miss_by_channel:
+            offenders = sorted(
+                analysis.miss_by_channel.items(), key=lambda kv: -kv[1]
+            )[:top]
+            lines.append("  most-missed channels           : " + ", ".join(
+                f"{key} ×{count}" for key, count in offenders
+            ))
+    else:
+        lines.append(
+            "  no decide records (use the 'search' strategy with tracing on)"
+        )
+    return "\n".join(lines)
+
+
+def main(args) -> int:
+    """Entry point for ``python -m repro obs analyze``."""
+    path = Path(args.trace)
+    try:
+        print(f"== observability analysis: {path} ==")
+        analysis = analyze_file(path)
+        print(render(analysis, width=args.width, top=args.top))
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        return 0
+    return 0

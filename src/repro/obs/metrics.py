@@ -1,0 +1,299 @@
+"""Time-series metrics primitives: counters, gauges, log-bucketed histograms.
+
+A :class:`MetricsRegistry` is the observability plane's numeric store.
+It deliberately mirrors the Prometheus data model — counters only go up,
+gauges go anywhere, histograms keep cumulative bucket counts — so
+:meth:`MetricsRegistry.to_prometheus` can render the standard text
+exposition format without translation.
+
+Metrics are identified by ``(name, labels)``.  Labels are ordinary
+dicts at the call site and frozen into a sorted tuple internally, so
+``registry.gauge("repro_queue_depth", labels={"node": "n0"})`` returns
+the same instrument every time.
+
+Histograms are **log-bucketed**: bucket upper bounds grow geometrically
+(default ×2) from ``base``, which keeps tail resolution over the many
+orders of magnitude queue depths and wait times span without
+hand-tuning bucket lists per metric.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Frozen label form: sorted (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Mapping[str, object] | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite with a cumulative total from an external source.
+
+        For mirroring counters maintained elsewhere (engine/NIC stats)
+        into the registry at snapshot time.  Going backwards is the same
+        bug :meth:`inc` guards against.
+        """
+        if value < self.value:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease ({self.value} -> {value})"
+            )
+        self.value = value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the current value."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the current value."""
+        self.value -= amount
+
+
+class Histogram:
+    """Log-bucketed distribution with cumulative Prometheus semantics.
+
+    Bucket *i* holds observations ``<= base * growth**i``; one final
+    implicit ``+Inf`` bucket catches the rest.  ``n_buckets`` finite
+    buckets therefore span ``base`` … ``base * growth**(n_buckets-1)``.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "inf_count", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        *,
+        base: float = 1.0,
+        growth: float = 2.0,
+        n_buckets: int = 16,
+    ) -> None:
+        if base <= 0:
+            raise ConfigurationError(f"histogram base must be > 0, got {base}")
+        if growth <= 1.0:
+            raise ConfigurationError(f"histogram growth must be > 1, got {growth}")
+        if n_buckets < 1:
+            raise ConfigurationError(f"histogram needs >= 1 bucket, got {n_buckets}")
+        self.name = name
+        self.labels = labels
+        self.bounds: tuple[float, ...] = tuple(
+            base * growth**i for i in range(n_buckets)
+        )
+        self.counts = [0] * n_buckets
+        self.inf_count = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        bounds = self.bounds
+        if value > bounds[-1]:
+            self.inf_count += 1
+            return
+        # Geometric bounds: binary search beats a linear walk only past
+        # ~30 buckets; defaults sit well under that, so walk.
+        for i, bound in enumerate(bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.inf_count))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments plus the Prometheus text renderer.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call fixes the instrument's type and (for histograms) bucketing;
+    re-requesting the same name with a different type is an error — two
+    components silently writing different shapes to one name would
+    corrupt the export.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._metrics: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+        self._help: dict[str, str] = {}
+        self._kinds: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # instrument access
+    # ------------------------------------------------------------------
+    def _get(
+        self,
+        factory,
+        kind: str,
+        name: str,
+        labels: Mapping[str, object] | None,
+        help: str,
+        **kwargs,
+    ):
+        if not name:
+            raise ConfigurationError("metric name must be non-empty")
+        known_kind = self._kinds.get(name)
+        if known_kind is not None and known_kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {known_kind}, not a {kind}"
+            )
+        key = (name, _freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[1], **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            if help and name not in self._help:
+                self._help[name] = help
+        return metric
+
+    def counter(
+        self, name: str, labels: Mapping[str, object] | None = None, help: str = ""
+    ) -> Counter:
+        """Get or create the counter at ``(name, labels)``."""
+        return self._get(Counter, "counter", name, labels, help)
+
+    def gauge(
+        self, name: str, labels: Mapping[str, object] | None = None, help: str = ""
+    ) -> Gauge:
+        """Get or create the gauge at ``(name, labels)``."""
+        return self._get(Gauge, "gauge", name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, object] | None = None,
+        help: str = "",
+        *,
+        base: float = 1.0,
+        growth: float = 2.0,
+        n_buckets: int = 16,
+    ) -> Histogram:
+        """Get or create the histogram (bucketing fixed on first call)."""
+        return self._get(
+            Histogram,
+            "histogram",
+            name,
+            labels,
+            help,
+            base=base,
+            growth=growth,
+            n_buckets=n_buckets,
+        )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "Iterable[Counter | Gauge | Histogram]":
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(
+        self, name: str, labels: Mapping[str, object] | None = None
+    ) -> "Counter | Gauge | Histogram | None":
+        """The instrument at ``(name, labels)``, or None."""
+        return self._metrics.get((name, _freeze_labels(labels)))
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Render the standard Prometheus text exposition format."""
+        by_name: dict[str, list[Counter | Gauge | Histogram]] = {}
+        for (name, _), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append(metric)
+        lines: list[str] = []
+        for name, metrics in by_name.items():
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for metric in metrics:
+                if isinstance(metric, Histogram):
+                    for bound, cum in metric.cumulative():
+                        le = "+Inf" if bound == float("inf") else _num(bound)
+                        label_text = _format_labels(metric.labels, (("le", le),))
+                        lines.append(f"{name}_bucket{label_text} {cum}")
+                    label_text = _format_labels(metric.labels)
+                    lines.append(f"{name}_sum{label_text} {_num(metric.total)}")
+                    lines.append(f"{name}_count{label_text} {metric.count}")
+                else:
+                    label_text = _format_labels(metric.labels)
+                    lines.append(f"{name}{label_text} {_num(metric.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _num(value: float) -> str:
+    """Render a sample value (integers without the trailing ``.0``)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

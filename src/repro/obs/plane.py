@@ -1,0 +1,209 @@
+"""The observability plane: config, lifecycle, and export glue.
+
+An :class:`ObservabilityPlane` bundles the three capture mechanisms —
+
+* a trace sink (unbounded :class:`~repro.obs.recorder.ListSink`, or a
+  bounded :class:`~repro.obs.recorder.RingBufferSink` flight recorder),
+* a :class:`~repro.obs.metrics.MetricsRegistry`,
+* an optional :class:`~repro.obs.sampler.ObservabilitySampler` —
+
+and attaches them to a cluster by *subscribing* to the tracer the
+simulator already carries.  Subscription flips ``tracer.enabled``, so
+every guarded emit site in the sim/core/network layers starts
+producing events; with no plane installed those sites stay on the
+NullTracer fast path (one attribute read, one branch, no detail-dict
+allocation).
+
+Scenarios opt in with a top-level ``"observability"`` block::
+
+    "observability": {
+      "sample_interval": 1e-5,     # simulated seconds; null disables
+      "ring_buffer": 65536,        # keep last N events; null = keep all
+      "trace": true                # capture trace events at all
+    }
+
+Unknown keys are rejected (:class:`ConfigurationError`), same contract
+as the ``"faults"`` block — a typo'd knob silently ignored would
+invalidate the run it was meant to observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.export import write_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import ListSink, RingBufferSink
+from repro.obs.sampler import ObservabilitySampler
+from repro.util.errors import ConfigurationError
+from repro.util.tracing import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+__all__ = ["ObservabilityConfig", "ObservabilityPlane"]
+
+_SPEC_KEYS = frozenset({"sample_interval", "ring_buffer", "trace"})
+
+
+@dataclass(frozen=True, slots=True)
+class ObservabilityConfig:
+    """Validated shape of the scenario ``"observability"`` block.
+
+    Parameters
+    ----------
+    sample_interval:
+        Simulated seconds between time-series samples; ``None``
+        disables the sampler (trace events still flow).
+    ring_buffer:
+        Flight-recorder capacity (events); ``None`` keeps everything.
+    trace:
+        When false, no trace sink is subscribed — the plane only
+        samples into the metrics registry, and the per-event emit
+        sites stay on their disabled fast path.
+    """
+
+    sample_interval: float | None = None
+    ring_buffer: int | None = None
+    trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ConfigurationError(
+                f"sample_interval must be > 0, got {self.sample_interval}"
+            )
+        if self.ring_buffer is not None and self.ring_buffer < 1:
+            raise ConfigurationError(
+                f"ring_buffer must be >= 1, got {self.ring_buffer}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "ObservabilityConfig":
+        """Build from a scenario mapping, rejecting unknown keys."""
+        for key in spec:
+            if key not in _SPEC_KEYS:
+                raise ConfigurationError(
+                    f"unknown observability key {key!r} (known: {sorted(_SPEC_KEYS)})"
+                )
+        return cls(
+            sample_interval=spec.get("sample_interval"),
+            ring_buffer=spec.get("ring_buffer"),
+            trace=spec.get("trace", True),
+        )
+
+
+class ObservabilityPlane:
+    """One cluster's observability capture, install → run → export."""
+
+    def __init__(self, config: ObservabilityConfig | None = None) -> None:
+        self.config = config if config is not None else ObservabilityConfig()
+        self.registry = MetricsRegistry()
+        self.sink: ListSink | RingBufferSink | None = None
+        self.sampler: ObservabilitySampler | None = None
+        self._cluster: "Cluster | None" = None
+        if self.config.trace:
+            self.sink = (
+                RingBufferSink(self.config.ring_buffer)
+                if self.config.ring_buffer is not None
+                else ListSink()
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def install(self, cluster: "Cluster") -> None:
+        """Attach to a freshly built cluster (before running it)."""
+        if self._cluster is not None:
+            raise ConfigurationError("observability plane is already installed")
+        self._cluster = cluster
+        if self.sink is not None:
+            cluster.sim.tracer.subscribe(self.sink)
+        if self.config.sample_interval is not None:
+            self.sampler = ObservabilitySampler(
+                cluster, self.config.sample_interval, registry=self.registry
+            )
+
+    def finalize(self) -> None:
+        """Mirror end-of-run cumulative counters into the registry.
+
+        Engine and NIC stats are maintained by the hot path itself;
+        copying them in once at the end keeps the run unperturbed while
+        making the Prometheus exposition a complete run summary.
+        """
+        cluster = self._cluster
+        if cluster is None:
+            return
+        registry = self.registry
+        for name, engine in cluster.engines.items():
+            labels = {"node": name}
+            stats = engine.stats
+            registry.counter(
+                "repro_dispatches_total", labels, help="Packets dispatched"
+            ).set_total(stats.dispatches)
+            registry.counter(
+                "repro_data_packets_total", labels, help="Data packets dispatched"
+            ).set_total(stats.data_packets)
+            registry.counter(
+                "repro_data_segments_total",
+                labels,
+                help="Payload segments across data packets",
+            ).set_total(stats.data_segments)
+            registry.counter(
+                "repro_holds_total", labels, help="Nagle holds taken"
+            ).set_total(stats.holds)
+            registry.counter(
+                "repro_rdv_parked_total", labels, help="Entries parked for rendezvous"
+            ).set_total(stats.rdv_parked)
+            registry.counter(
+                "repro_failovers_total", labels, help="Rail-down re-routes"
+            ).set_total(stats.failovers)
+            for trigger, count in stats.activations.items():
+                registry.counter(
+                    "repro_activations_total",
+                    {"node": name, "trigger": trigger},
+                    help="Optimizer activations by trigger",
+                ).set_total(count)
+        for node in cluster.fabric.nodes:
+            for nic in node.nics:
+                labels = {"nic": nic.name}
+                registry.counter(
+                    "repro_nic_requests_total", labels, help="NIC send requests"
+                ).set_total(nic.stats.requests)
+                registry.counter(
+                    "repro_nic_wire_bytes_total", labels, help="Bytes put on the wire"
+                ).set_total(nic.stats.wire_bytes)
+        transport = cluster.transport
+        if transport is not None:
+            registry.counter(
+                "repro_retransmits_total", help="Reliability-layer retransmissions"
+            ).set_total(transport.stats.retransmits)
+        if self.sink is not None:
+            registry.counter(
+                "repro_trace_events_total", help="Trace events captured (post-drop)"
+            ).set_total(len(self.sink.events))
+            registry.counter(
+                "repro_trace_events_dropped_total",
+                help="Trace events evicted by the flight recorder",
+            ).set_total(self.sink.dropped)
+
+    # ------------------------------------------------------------------
+    # access + export
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Captured trace events (empty when tracing is off)."""
+        return list(self.sink.events) if self.sink is not None else []
+
+    def write_trace(self, path: str | Path) -> str:
+        """Export captured events; format chosen by extension."""
+        if self.sink is None:
+            raise ConfigurationError(
+                "no trace captured: the observability plane has trace=false"
+            )
+        return write_trace(path, self.sink.events)
+
+    def write_metrics(self, path: str | Path) -> None:
+        """Export the registry as Prometheus text exposition."""
+        Path(path).write_text(self.registry.to_prometheus(), encoding="utf-8")

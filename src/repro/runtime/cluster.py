@@ -39,6 +39,7 @@ from repro.network.fabric import Fabric
 from repro.network.faults import FaultPlane
 from repro.network.reliable import ReliabilityConfig, ReliableTransport
 from repro.network.technologies import TECHNOLOGIES
+from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.runtime.metrics import MetricsCollector
 from repro.sim.engine import Simulator
 from repro.util.errors import ConfigurationError
@@ -93,6 +94,14 @@ class Cluster:
         :class:`~repro.network.reliable.ReliableTransport` and scheduled
         rail outages are installed.  ``None`` (default) keeps the
         lossless fabric and its exact packet timings.
+    observability:
+        Optional observability plane: a ready-made (uninstalled)
+        :class:`~repro.obs.plane.ObservabilityPlane`, an
+        :class:`~repro.obs.plane.ObservabilityConfig`, or a mapping in
+        the scenario ``"observability"`` schema (``sample_interval``/
+        ``ring_buffer``/``trace``).  When set, a trace sink and the
+        periodic sampler are attached as ``cluster.obs``; ``None``
+        (default) keeps every emit site on the NullTracer fast path.
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class Cluster:
         tracer: Tracer | None = None,
         driver_caps: dict[str, "DriverCapabilities"] | None = None,
         faults: Mapping | FaultPlane | None = None,
+        observability: Mapping | ObservabilityConfig | ObservabilityPlane | None = None,
     ) -> None:
         if n_nodes < 2:
             raise ConfigurationError(f"a cluster needs >= 2 nodes, got {n_nodes}")
@@ -191,6 +201,19 @@ class Cluster:
             self.transport = ReliableTransport(self.sim, self.fabric, plane, rel_config)
             self.transport.install()
             plane.install(self.fabric, self.sim)
+
+        self.obs: ObservabilityPlane | None = None
+        if observability is not None:
+            if isinstance(observability, ObservabilityPlane):
+                obs_plane = observability
+            elif isinstance(observability, ObservabilityConfig):
+                obs_plane = ObservabilityPlane(observability)
+            else:
+                obs_plane = ObservabilityPlane(
+                    ObservabilityConfig.from_spec(observability)
+                )
+            obs_plane.install(self)
+            self.obs = obs_plane
 
     @staticmethod
     def _make_strategy(

@@ -114,6 +114,9 @@ class SessionReport:
             "transactions": self.network_transactions,
             "agg_ratio": self.aggregation_ratio,
             "nic_util": self.nic_utilization,
+            "retransmits": self.retransmits,
+            "failovers": self.failovers,
+            "dropped": self.packets_dropped,
         }
 
 

@@ -25,12 +25,15 @@ file) describing the cluster, the workloads, and the run window::
         "outages": [{"nic": "n0.mx00", "at": 0.002, "recover": 0.004}],
         "reliability": {"max_retries": 10}
       },
+      "observability": {"sample_interval": 1e-5, "ring_buffer": 65536},
       "run": {"until": null, "warmup": 0.0}
     }
 
 The optional ``"faults"`` block activates the fault-injection plane and
 reliability protocol (:mod:`repro.network.faults`,
-:mod:`repro.network.reliable`).  Unknown keys anywhere in the scenario
+:mod:`repro.network.reliable`); the optional ``"observability"`` block
+attaches trace capture and the periodic sampler
+(:mod:`repro.obs.plane`).  Unknown keys anywhere in the scenario
 are rejected with :class:`~repro.util.errors.ConfigurationError` naming
 the bad key — a typo'd knob silently ignored would invalidate the
 experiment it configures.
@@ -99,7 +102,7 @@ POLICY_TYPES: dict[str, Callable[[], ChannelPolicy]] = {
 
 #: Keys a scenario mapping may carry at each level.
 _SCENARIO_KEYS = frozenset(
-    {"name", "description", "cluster", "workloads", "faults", "run"}
+    {"name", "description", "cluster", "workloads", "faults", "observability", "run"}
 )
 _CLUSTER_KEYS = frozenset(
     {"n_nodes", "networks", "engine", "strategy", "policy", "config", "seed"}
@@ -181,6 +184,9 @@ def build_scenario(scenario: Mapping[str, Any]) -> tuple[Cluster, list[AppBase]]
     faults_spec = scenario.get("faults")
     if faults_spec is not None:
         cluster_spec["faults"] = faults_spec
+    obs_spec = scenario.get("observability")
+    if obs_spec is not None:
+        cluster_spec["observability"] = obs_spec
     cluster = Cluster(**cluster_spec)
     apps = [_build_app(entry) for entry in scenario.get("workloads", [])]
     if not apps:

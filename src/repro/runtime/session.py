@@ -45,4 +45,9 @@ def run_session(
         cluster.run_until_idle(max_events=max_events)
     else:
         cluster.run(until=until)
+    obs_plane = getattr(cluster, "obs", None)
+    if obs_plane is not None:
+        # Mirror end-of-run stats into the metrics registry so every
+        # session exit leaves a complete exposition (idempotent).
+        obs_plane.finalize()
     return cluster.report(since=warmup)

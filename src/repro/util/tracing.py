@@ -5,14 +5,32 @@ default :class:`NullTracer` discards them at near-zero cost; tests and
 the E1 architecture benchmark install a :class:`TraceRecorder` to assert
 on the *sequence* of layer interactions (collect → optimize → transfer),
 which is how we validate Figure 1 executably.
+
+The observability plane (:mod:`repro.obs`) builds on the same hook: it
+*subscribes sinks* to whatever tracer the simulator already has, which
+flips :attr:`Tracer.enabled` to true and lets every guarded emit site
+start producing events without reconstructing the cluster.
+
+Hot-path contract: ``tracer.enabled`` is a plain attribute, not a
+property — emit sites check it before building any detail dict, so a
+production run with no sinks pays one attribute read and one branch per
+potential event, nothing more.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-__all__ = ["TraceEvent", "Tracer", "NullTracer", "TraceRecorder"]
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "TraceRecorder",
+    "event_to_dict",
+    "events_to_jsonl",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,10 +54,14 @@ class Tracer:
 
     def __init__(self) -> None:
         self._sinks: list[Callable[[TraceEvent], None]] = []
+        #: Whether emitting is worthwhile (lets hot paths skip building
+        #: detail dicts).  A plain attribute on purpose — see module docs.
+        self.enabled: bool = False
 
     def subscribe(self, sink: Callable[[TraceEvent], None]) -> None:
         """Register a callable invoked for every future event."""
         self._sinks.append(sink)
+        self.enabled = True
 
     def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
         """Record one event and fan it out to subscribers."""
@@ -51,11 +73,6 @@ class Tracer:
     def record(self, event: TraceEvent) -> None:
         """Store the event. Subclasses override; the base stores nothing."""
 
-    @property
-    def enabled(self) -> bool:
-        """Whether emitting is worthwhile (lets hot paths skip formatting)."""
-        return bool(self._sinks)
-
 
 class NullTracer(Tracer):
     """Discards everything; the default for production runs."""
@@ -63,10 +80,6 @@ class NullTracer(Tracer):
     def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
         if self._sinks:
             super().emit(time, source, kind, **detail)
-
-    @property
-    def enabled(self) -> bool:
-        return bool(self._sinks)
 
 
 class TraceRecorder(Tracer):
@@ -78,13 +91,10 @@ class TraceRecorder(Tracer):
     def __init__(self) -> None:
         super().__init__()
         self.events: list[TraceEvent] = []
+        self.enabled = True  # recording is itself a sink
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)
-
-    @property
-    def enabled(self) -> bool:
-        return True
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All recorded events with exactly this kind tag."""
@@ -100,26 +110,37 @@ class TraceRecorder(Tracer):
 
     def to_jsonl(self) -> str:
         """Serialize events as JSON Lines (one event object per line)."""
-        import json
-
-        return "\n".join(
-            json.dumps(
-                {
-                    "time": e.time,
-                    "source": e.source,
-                    "kind": e.kind,
-                    **{k: _jsonable(v) for k, v in e.detail.items()},
-                }
-            )
-            for e in self.events
-        )
+        return events_to_jsonl(self.events)
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    """The canonical JSON shape of one event.
+
+    Detail fields are nested under ``"detail"`` so a detail key named
+    ``time``/``source``/``kind`` can never clobber the envelope.
+    """
+    return {
+        "time": event.time,
+        "source": event.source,
+        "kind": event.kind,
+        "detail": {k: _jsonable(v) for k, v in event.detail.items()},
+    }
+
+
+def events_to_jsonl(events: "Iterator[TraceEvent] | list[TraceEvent]") -> str:
+    """Serialize events as JSON Lines (one event object per line)."""
+    return "\n".join(json.dumps(event_to_dict(e)) for e in events)
 
 
 def _jsonable(value: Any) -> Any:
     """Best-effort JSON coercion for trace detail values."""
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
     return str(value)

@@ -1,0 +1,107 @@
+"""Trace-analysis CLI: timeline reconstruction and miss accounting."""
+
+from repro.obs.analyze import _sparkline, analyze_events, analyze_file, render
+from repro.runtime.scenario import run_scenario
+from repro.util.tracing import TraceEvent
+
+
+def _decide(t, items, widest, channel=0, truncation="exhausted"):
+    return TraceEvent(
+        t,
+        "engine:n0",
+        "optimizer.decide",
+        {
+            "items": items,
+            "widest_items": widest,
+            "channel": channel,
+            "truncation": truncation,
+        },
+    )
+
+
+def _sample(t, depth):
+    return TraceEvent(
+        t,
+        "obs:sampler",
+        "obs.sample",
+        {
+            "queues": {"n0/0": [depth, depth * 256]},
+            "nic_busy": {"n0.mx00": 0.25},
+            "backlog": depth,
+            "retransmits_in_flight": 1,
+        },
+    )
+
+
+class TestAnalysis:
+    def test_miss_accounting(self):
+        events = [
+            _decide(0.0, 2, 2),
+            _decide(1e-6, 1, 3),  # wider candidate lost
+            _decide(2e-6, 4, 4, truncation="budget"),
+        ]
+        analysis = analyze_events(events)
+        assert analysis.decides == 3
+        assert analysis.misses == 1
+        assert analysis.miss_fraction == 1 / 3
+        assert analysis.miss_by_channel == {"n0/0": 1}
+        assert analysis.truncation == {"exhausted": 2, "budget": 1}
+
+    def test_timeline_reconstruction(self):
+        events = [_sample(i * 1e-5, depth) for i, depth in enumerate((0, 5, 2))]
+        analysis = analyze_events(events)
+        assert analysis.backlog.values == [0, 5, 2]
+        assert analysis.node_depth["n0"].values == [0, 5, 2]
+        assert analysis.nic_busy["n0.mx00"].values == [0.25] * 3
+        assert analysis.backlog.peak == (1e-5, 5)
+        assert analysis.retransmits.values == [1, 1, 1]
+
+    def test_render_sections(self):
+        events = [_sample(0.0, 3), _decide(1e-6, 1, 2)]
+        text = render(analyze_events(events))
+        assert "queue depth" in text
+        assert "NIC utilization" in text
+        assert "aggregation opportunities" in text
+        assert "wider plan existed but lost    : 1" in text
+
+    def test_render_degrades_without_samples(self):
+        text = render(analyze_events([_decide(0.0, 1, 1)]))
+        assert "no obs.sample records" in text
+
+    def test_empty_trace(self):
+        analysis = analyze_events([])
+        assert analysis.n_events == 0
+        assert "no decide records" in render(analysis)
+
+
+class TestSparkline:
+    def test_scales_to_width(self):
+        assert len(_sparkline(list(range(1000)), width=40)) == 40
+        assert len(_sparkline([1.0, 2.0], width=40)) == 2
+
+    def test_flat_zero_renders_floor(self):
+        assert _sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_empty(self):
+        assert _sparkline([]) == ""
+
+
+class TestEndToEnd:
+    def test_analyze_file_from_scenario(self, tmp_path):
+        scenario = {
+            "name": "analyze-e2e",
+            "cluster": {"n_nodes": 2, "strategy": "search"},
+            "workloads": [
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 512, "count": 30}
+            ],
+            "observability": {"sample_interval": 1e-5},
+        }
+        _, cluster, _ = run_scenario(scenario)
+        for suffix in ("json", "jsonl"):
+            path = tmp_path / f"t.{suffix}"
+            cluster.obs.write_trace(path)
+            analysis = analyze_file(path)
+            assert analysis.decides > 0
+            assert analysis.backlog.values
+            text = render(analysis)
+            assert "dispatches with decide records" in text

@@ -1,0 +1,156 @@
+"""Tests for the metrics registry and its Prometheus rendering."""
+
+import math
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        c = Counter("c")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_set_total_is_monotonic(self):
+        c = Counter("c")
+        c.set_total(10)
+        with pytest.raises(ConfigurationError):
+            c.set_total(9)
+        c.set_total(10)  # equal is fine (idempotent snapshot)
+        assert c.value == 10
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("g")
+        g.set(5)
+        g.dec(7)
+        g.inc(1)
+        assert g.value == -1
+
+
+class TestHistogram:
+    def test_bounds_grow_geometrically(self):
+        h = Histogram("h", base=1.0, growth=2.0, n_buckets=4)
+        assert h.bounds == (1.0, 2.0, 4.0, 8.0)
+
+    def test_cumulative_ends_at_inf(self):
+        h = Histogram("h", base=1.0, growth=2.0, n_buckets=3)
+        for v in (0.5, 2.0, 100.0):
+            h.observe(v)
+        cum = h.cumulative()
+        assert cum[-1] == (float("inf"), 3)
+        # cumulative counts never decrease
+        counts = [n for _, n in cum]
+        assert counts == sorted(counts)
+
+    def test_mean(self):
+        h = Histogram("h")
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_validation(self):
+        for kwargs in ({"base": 0}, {"growth": 1.0}, {"n_buckets": 0}):
+            with pytest.raises(ConfigurationError):
+                Histogram("h", **kwargs)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
+    def test_every_observation_lands_in_exactly_one_bucket(self, values):
+        h = Histogram("h", base=1.0, growth=2.0, n_buckets=8)
+        for v in values:
+            h.observe(v)
+        assert sum(h.counts) + h.inf_count == len(values)
+        assert h.cumulative()[-1][1] == len(values)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x", {"node": "n0"})
+        b = reg.counter("repro_x", {"node": "n0"})
+        c = reg.counter("repro_x", {"node": "n1"})
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("repro_g", {"a": 1, "b": 2})
+        b = reg.gauge("repro_g", {"b": 2, "a": 1})
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("")
+
+
+# One sample line: name, optional {labels}, numeric value.
+_SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? '
+    r"(([-+]?[0-9.eE+-]+)|\+Inf|-Inf|NaN)$"
+)
+
+
+def _parse_prometheus(text: str) -> dict[str, float]:
+    """Minimal parser of the text exposition format; returns series → value."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            if line.startswith("#"):
+                assert line.startswith("# HELP ") or line.startswith("# TYPE "), line
+            continue
+        m = _SAMPLE_RE.match(line)
+        assert m is not None, f"unparseable sample line: {line!r}"
+        series = m.group(1) + (m.group(2) or "")
+        assert series not in samples, f"duplicate series: {series}"
+        samples[series] = float(m.group(4))
+    return samples
+
+
+class TestPrometheusExport:
+    def test_full_export_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_sends_total", {"nic": "n0.mx00"}, help="Sends").inc(7)
+        reg.gauge("repro_depth", {"node": "n0", "channel": "0"}).set(3)
+        h = reg.histogram("repro_lat", help="Latency", n_buckets=4)
+        h.observe(1.5)
+        h.observe(100.0)
+        samples = _parse_prometheus(reg.to_prometheus())
+        assert samples['repro_sends_total{nic="n0.mx00"}'] == 7
+        assert samples['repro_depth{channel="0",node="n0"}'] == 3
+        assert samples['repro_lat_bucket{le="+Inf"}'] == 2
+        assert samples["repro_lat_count"] == 2
+        assert math.isclose(samples["repro_lat_sum"], 101.5)
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", n_buckets=4)
+        for v in (1, 2, 4, 8, 1000):
+            h.observe(v)
+        samples = _parse_prometheus(reg.to_prometheus())
+        buckets = [
+            v for k, v in samples.items() if k.startswith("repro_h_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert samples['repro_h_bucket{le="+Inf"}'] == samples["repro_h_count"]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""

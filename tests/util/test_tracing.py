@@ -67,17 +67,38 @@ class TestJsonExport:
             "time": 1.5,
             "source": "nic:0",
             "kind": "nic.send",
-            "bytes": 128,
-            "dst": "n1",
+            "detail": {"bytes": 128, "dst": "n1"},
         }
+
+    def test_envelope_keys_never_clobbered(self):
+        import json
+
+        from repro.util.tracing import TraceEvent
+
+        t = TraceRecorder()
+        t.record(TraceEvent(1.0, "a", "k", {"time": "bogus", "source": "x", "kind": "y"}))
+        parsed = json.loads(t.to_jsonl())
+        assert parsed["time"] == 1.0
+        assert parsed["source"] == "a"
+        assert parsed["kind"] == "k"
+        assert parsed["detail"] == {"time": "bogus", "source": "x", "kind": "y"}
+
+    def test_nested_json_values_preserved(self):
+        import json
+
+        t = TraceRecorder()
+        t.emit(0.0, "a", "k", obj={"nested": 1}, seq=[1, (2, 3)])
+        parsed = json.loads(t.to_jsonl())
+        assert parsed["detail"]["obj"] == {"nested": 1}
+        assert parsed["detail"]["seq"] == [1, [2, 3]]
 
     def test_non_json_values_coerced(self):
         import json
 
         t = TraceRecorder()
-        t.emit(0.0, "a", "k", obj={"nested": 1})
+        t.emit(0.0, "a", "k", obj=object())
         parsed = json.loads(t.to_jsonl())
-        assert isinstance(parsed["obj"], str)
+        assert isinstance(parsed["detail"]["obj"], str)
 
     def test_empty(self):
         assert TraceRecorder().to_jsonl() == ""
