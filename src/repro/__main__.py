@@ -64,6 +64,8 @@ def _parse_faults_arg(value: str) -> dict | None:
 
 
 def _cmd_run(args) -> int:
+    import json
+
     from repro.network.virtual import TrafficClass
     from repro.runtime.scenario import load_scenario_file, run_scenario
 
@@ -85,6 +87,16 @@ def _cmd_run(args) -> int:
         scenario["observability"] = obs_spec
     report, cluster, apps = run_scenario(scenario)
     name = scenario.get("name", args.scenario)
+    if args.json:
+        incomplete = [a.name for a in apps if not a.done.done]
+        payload = {
+            "scenario": name,
+            "virtual_time": cluster.sim.now,
+            "report": report.to_dict(),
+            "incomplete_workloads": incomplete,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if incomplete else 0
     print(f"== scenario: {name} ==")
     print(f"virtual time         : {format_time(cluster.sim.now)}")
     print(f"messages completed   : {report.messages}")
@@ -135,6 +147,61 @@ def _cmd_run(args) -> int:
     if incomplete:
         print(f"WARNING: workloads not finished: {incomplete}")
         return 1
+    return 0
+
+
+def _cmd_live_run(args) -> int:
+    import json
+
+    from repro.live import run_live_scenario
+    from repro.runtime.scenario import load_scenario_file
+
+    scenario = load_scenario_file(args.scenario)
+    result = run_live_scenario(
+        scenario,
+        transport=args.transport,
+        time_scale=args.time_scale,
+        trace=bool(args.trace_out),
+        timeout=args.timeout,
+    )
+    report = result.report
+    if args.trace_out:
+        from repro.obs.export import write_trace
+        from repro.util.tracing import TraceEvent
+
+        events = [
+            TraceEvent(e["time"], e["source"], e["kind"], e.get("detail", {}))
+            for e in result.trace_events
+        ]
+        fmt = write_trace(args.trace_out, events)
+    name = scenario.get("name", args.scenario)
+    if args.json:
+        payload = {
+            "scenario": name,
+            "transport": args.transport,
+            "report": report.to_dict(),
+            "bytes_verified": result.bytes_verified,
+            "corrupt_slices": result.corrupt_slices,
+            "rtt_samples": len(result.rtts),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"== live scenario: {name} ({args.transport}) ==")
+    print(f"wall time            : {format_time(report.duration)}")
+    print(f"messages delivered   : {report.messages}")
+    print(f"payload delivered    : {report.total_bytes} B")
+    print(f"bytes verified       : {result.bytes_verified} (corrupt: {result.corrupt_slices})")
+    print(f"throughput           : {format_rate(report.throughput)}")
+    print(f"mean latency         : {report.latency.mean * 1e6:.2f} us")
+    print(f"p99 latency          : {report.latency.p99 * 1e6:.2f} us")
+    print(f"network transactions : {report.network_transactions}")
+    print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
+    print(f"rendezvous transfers : {report.rdv_count}")
+    if result.rtts:
+        mean_rtt = sum(result.rtts) / len(result.rtts)
+        print(f"mean ping-pong RTT   : {mean_rtt * 1e6:.2f} us (n={len(result.rtts)})")
+    if args.trace_out:
+        print(f"trace written        : {args.trace_out} ({fmt})")
     return 0
 
 
@@ -195,7 +262,48 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="periodic time-series sample interval in simulated seconds",
     )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full session report as JSON on stdout (no human text)",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    live_parser = subparsers.add_parser(
+        "live", help="run the engine over real sockets (repro.live)"
+    )
+    live_sub = live_parser.add_subparsers(dest="live_command", required=True)
+    live_run = live_sub.add_parser(
+        "run", help="execute a scenario file over a local socket mesh"
+    )
+    live_run.add_argument("scenario", help="path to a scenario JSON file")
+    live_run.add_argument(
+        "--transport",
+        choices=("uds", "tcp"),
+        default="uds",
+        help="peer interconnect: Unix-domain sockets (default) or TCP loopback",
+    )
+    live_run.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="real seconds per virtual second (stretch engine delays)",
+    )
+    live_run.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="hard wall-clock budget before the run is declared hung",
+    )
+    live_run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the merged live trace (.jsonl/.ndjson or Chrome JSON)",
+    )
+    live_run.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    live_run.set_defaults(func=_cmd_live_run)
 
     obs_parser = subparsers.add_parser("obs", help="observability tools")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)

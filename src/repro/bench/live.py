@@ -1,0 +1,226 @@
+"""Live-transport benchmarks: the engine over real loopback sockets.
+
+Not a paper table and not a microbenchmark of the optimizer: this
+measures the *live plane* (:mod:`repro.live`) end to end — peer
+processes, stream framing, socket-drain activation — on two canonical
+shapes:
+
+* **ping-pong** — one eager message bouncing between two peers; reports
+  the measured round-trip time (wall clock, client side).  This is the
+  live counterpart of the paper's base-latency microbenchmark.
+* **multi-flow aggregation** — several concurrent eager streams between
+  the same pair of nodes; reports the achieved aggregation ratio
+  (segments per data packet).  Ratios above 1 mean the unmodified
+  optimizing engine coalesced backlog that accumulated while the socket
+  was busy — the paper's core effect, reproduced over a real transport.
+
+Wall-clock rates on loopback are scheduler-noisy, so ``--check`` gates
+*structure*, not speed: every payload byte verified, zero corruption,
+aggregation ratio > 1, positive RTTs.  The suite emits
+``BENCH_live.json`` in the same schema family as ``BENCH_kernel.json``.
+
+Usage::
+
+    python -m repro.bench.live                  # print + BENCH_live.json
+    python -m repro.bench.live --quick --check  # CI smoke gate
+    python -m repro.bench.live --transport tcp  # TCP loopback mesh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.live import LiveRunResult, run_live_scenario
+
+__all__ = [
+    "RESULT_FILE",
+    "aggregation_scenario",
+    "pingpong_scenario",
+    "run_suite",
+    "check_structure",
+]
+
+#: Default location of the emitted results (repository root).
+RESULT_FILE = "BENCH_live.json"
+
+#: Hard wall-clock budget per scenario; generous because CI runners
+#: schedule subprocess start-up erratically.
+RUN_TIMEOUT = 60.0
+
+
+def pingpong_scenario(count: int) -> dict[str, Any]:
+    """Two peers, one small eager message bouncing ``count`` times."""
+    return {
+        "name": "live-bench-pingpong",
+        "cluster": {
+            "n_nodes": 2,
+            "networks": [["mx", 1]],
+            "engine": "optimizing",
+            "strategy": "aggregate",
+            "seed": 0,
+        },
+        "workloads": [
+            {"app": "pingpong", "src": "n0", "dst": "n1", "size": 64, "count": count},
+        ],
+    }
+
+
+def aggregation_scenario(per_flow: int) -> dict[str, Any]:
+    """Three concurrent eager streams n0 -> n1, ``per_flow`` messages each.
+
+    All messages are submitted with zero inter-send interval, so backlog
+    builds while the socket drains and the aggregation strategy gets its
+    coalescing opportunities.
+    """
+    return {
+        "name": "live-bench-aggregation",
+        "cluster": {
+            "n_nodes": 2,
+            "networks": [["mx", 1]],
+            "engine": "optimizing",
+            "strategy": "aggregate",
+            "seed": 0,
+        },
+        "workloads": [
+            {"app": "stream", "src": "n0", "dst": "n1", "size": size,
+             "count": per_flow, "interval": 0.0}
+            for size in (512, 256, 128)
+        ],
+    }
+
+
+def _pingpong_metrics(result: LiveRunResult) -> dict[str, float]:
+    rtts = sorted(result.rtts)
+    n = len(rtts)
+    return {
+        "pingpong/rtt_samples": float(n),
+        "pingpong/rtt_mean_us": (sum(rtts) / n * 1e6) if n else 0.0,
+        "pingpong/rtt_p50_us": (rtts[n // 2] * 1e6) if n else 0.0,
+        "pingpong/rtt_min_us": (rtts[0] * 1e6) if n else 0.0,
+        "pingpong/bytes_verified": float(result.bytes_verified),
+        "pingpong/corrupt_slices": float(result.corrupt_slices),
+        "pingpong/messages": float(result.report.messages),
+    }
+
+
+def _aggregation_metrics(result: LiveRunResult) -> dict[str, float]:
+    report = result.report
+    return {
+        "aggregation/ratio": report.aggregation_ratio,
+        "aggregation/data_packets": float(report.data_packets),
+        "aggregation/messages": float(report.messages),
+        "aggregation/total_bytes": float(report.total_bytes),
+        "aggregation/bytes_verified": float(result.bytes_verified),
+        "aggregation/corrupt_slices": float(result.corrupt_slices),
+        "aggregation/throughput_MBps": report.throughput / 1e6,
+    }
+
+
+def run_suite(
+    *, quick: bool = False, transport: str = "uds", timeout: float = RUN_TIMEOUT
+) -> dict[str, float]:
+    """Run both live scenarios; returns a flat metric mapping."""
+    pp_count = 10 if quick else 50
+    per_flow = 10 if quick else 40
+    metrics: dict[str, float] = {}
+    result = run_live_scenario(
+        pingpong_scenario(pp_count), transport=transport, timeout=timeout
+    )
+    metrics.update(_pingpong_metrics(result))
+    result = run_live_scenario(
+        aggregation_scenario(per_flow), transport=transport, timeout=timeout
+    )
+    metrics.update(_aggregation_metrics(result))
+    return metrics
+
+
+def check_structure(metrics: dict[str, float]) -> list[str]:
+    """Structural gate: correctness invariants, not wall-clock speed."""
+    failures = []
+    if metrics.get("pingpong/rtt_samples", 0.0) <= 0:
+        failures.append("pingpong produced no RTT samples")
+    if metrics.get("pingpong/rtt_mean_us", 0.0) <= 0:
+        failures.append("pingpong mean RTT is not positive")
+    for suite in ("pingpong", "aggregation"):
+        if metrics.get(f"{suite}/corrupt_slices", 0.0) != 0:
+            failures.append(f"{suite}: corrupted payload slices detected")
+        if metrics.get(f"{suite}/bytes_verified", 0.0) <= 0:
+            failures.append(f"{suite}: no payload bytes were verified")
+    if metrics.get("aggregation/ratio", 0.0) <= 1.0:
+        failures.append(
+            f"aggregation ratio {metrics.get('aggregation/ratio', 0.0):.2f} "
+            "is not > 1: the engine never coalesced backlog"
+        )
+    return failures
+
+
+def _render(metrics: dict[str, float]) -> str:
+    width = max(len(k) for k in metrics)
+    return "\n".join(
+        f"  {name.ljust(width)}  {value:>14,.2f}"
+        for name, value in sorted(metrics.items())
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the suite, write JSON, optionally gate."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.live", description=__doc__
+    )
+    parser.add_argument(
+        "--out", default=RESULT_FILE, help="result JSON path (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("uds", "tcp"),
+        default="uds",
+        help="peer interconnect (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=RUN_TIMEOUT,
+        help="wall-clock budget per scenario (default: %(default)ss)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when a structural invariant fails (corruption, "
+        "aggregation ratio <= 1, missing RTTs)",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced message counts")
+    args = parser.parse_args(argv)
+
+    metrics = run_suite(
+        quick=args.quick, transport=args.transport, timeout=args.timeout
+    )
+    print(f"== live transport benchmarks ({args.transport} loopback) ==")
+    print(_render(metrics))
+
+    payload = {
+        "schema": 1,
+        "suite": "live",
+        "quick": args.quick,
+        "transport": args.transport,
+        "metrics": metrics,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"\nresults written to {args.out}")
+
+    if args.check:
+        failures = check_structure(metrics)
+        if failures:
+            print("\nlive structural checks failed:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("structural checks passed (byte-identical, aggregation > 1)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,326 @@
+"""Coordinator: spawn N live peers, run a scenario, merge the report.
+
+:func:`run_live_scenario` is the live counterpart of
+:func:`repro.runtime.scenario.run_scenario`: same scenario mapping in, a
+real :class:`~repro.runtime.metrics.SessionReport` out — except the
+engines run in separate OS processes connected by a Unix-domain-socket
+(or TCP loopback) mesh, and "the run is over" is detected by
+quiescence + counter agreement instead of an empty event queue.
+
+Control flow (JSON lines over each peer's stdin/stdout)::
+
+    CONFIG  -> READY      every peer binds its server socket
+    MESH    -> MESH_OK    peers interconnect (rank i dials ranks < i)
+    START   -> STARTED    apps installed; traffic begins
+    STATUS  (poll)        until: all quiet, Σsubmitted == Σdone_received
+                          == Σdone_sent, stable across two polls
+    STOP    -> REPORT     per-peer records/counters; peers exit
+
+The merged report is assembled from receiver-side message records
+(each delivered message is recorded exactly once cluster-wide, at its
+destination peer); submit/complete timestamps are comparable across
+peers because every clock shares the coordinator's epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.network.virtual import TrafficClass
+from repro.runtime.metrics import LatencySummary, MessageRecord, SessionReport
+from repro.util.errors import ConfigurationError, TransportError
+
+__all__ = ["LiveRunResult", "run_live_scenario"]
+
+_POLL_INTERVAL = 0.02
+
+
+@dataclass(slots=True)
+class LiveRunResult:
+    """Everything a live run produced beyond the merged report."""
+
+    report: SessionReport
+    records: list[MessageRecord]
+    peer_reports: list[dict[str, Any]]
+    trace_events: list[dict[str, Any]] = field(default_factory=list)
+    rtts: list[float] = field(default_factory=list)
+
+    @property
+    def bytes_verified(self) -> int:
+        """Payload bytes that arrived byte-identical to the pattern."""
+        return sum(p["transport"]["bytes_verified"] for p in self.peer_reports)
+
+    @property
+    def corrupt_slices(self) -> int:
+        return sum(p["transport"]["corrupt_slices"] for p in self.peer_reports)
+
+
+class _Peer:
+    """One spawned peer process + its blocking line protocol."""
+
+    def __init__(self, rank: int, workdir: str, deadline: float) -> None:
+        self.rank = rank
+        self.deadline = deadline
+        self.stderr_path = os.path.join(workdir, f"p{rank}.stderr")
+        self._stderr_file = open(self.stderr_path, "wb")
+        env = dict(os.environ)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.live.peer"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=self._stderr_file,
+            env=env,
+            text=True,
+        )
+
+    def request(self, msg: dict[str, Any]) -> dict[str, Any]:
+        """Send one control message and block for its one-line response."""
+        if self.proc.poll() is not None:
+            raise TransportError(
+                f"peer {self.rank} exited early (rc={self.proc.returncode}): "
+                f"{self.stderr_tail()}"
+            )
+        assert self.proc.stdin is not None and self.proc.stdout is not None
+        self.proc.stdin.write(json.dumps(msg) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        if not line:
+            raise TransportError(
+                f"peer {self.rank} closed its control channel "
+                f"(rc={self.proc.poll()}): {self.stderr_tail()}"
+            )
+        reply = json.loads(line)
+        if reply.get("type") == "error":
+            raise TransportError(f"peer {self.rank} failed: {reply.get('error')}")
+        return reply
+
+    def stderr_tail(self, limit: int = 2000) -> str:
+        self._stderr_file.flush()
+        try:
+            with open(self.stderr_path, "rb") as f:
+                data = f.read()
+            return data[-limit:].decode("utf-8", errors="replace")
+        except OSError:
+            return "<no stderr captured>"
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            pass
+        self._stderr_file.close()
+
+
+def _merge_report(peer_reports: list[dict[str, Any]]) -> tuple[SessionReport, list[MessageRecord]]:
+    records: list[MessageRecord] = []
+    for payload in peer_reports:
+        for r in payload["records"]:
+            records.append(
+                MessageRecord(
+                    message_id=r["message_id"],
+                    flow_name=r["flow_name"],
+                    traffic_class=TrafficClass(r["traffic_class"]),
+                    src=r["src"],
+                    dst=r["dst"],
+                    size=r["size"],
+                    fragments=r["fragments"],
+                    submit_time=r["submit_time"],
+                    complete_time=r["complete_time"],
+                )
+            )
+    latencies = [r.latency for r in records]
+    total_bytes = sum(r.size for r in records)
+    if records:
+        duration = max(r.complete_time for r in records) - min(
+            r.submit_time for r in records
+        )
+        duration = max(duration, 0.0)
+    else:
+        duration = 0.0
+
+    by_class: dict[TrafficClass, LatencySummary] = {}
+    for traffic_class in TrafficClass:
+        samples = [r.latency for r in records if r.traffic_class is traffic_class]
+        if samples:
+            by_class[traffic_class] = LatencySummary.of(samples)
+
+    transactions = sum(n["requests"] for p in peer_reports for n in p["nics"])
+    busy = sum(n["busy_time"] for p in peer_reports for n in p["nics"])
+    host = sum(n["host_time"] for p in peer_reports for n in p["nics"])
+    nic_count = sum(len(p["nics"]) for p in peer_reports)
+    data_packets = sum(p["engine"]["data_packets"] for p in peer_reports)
+    segments = sum(p["engine"]["data_segments"] for p in peer_reports)
+    control = sum(
+        p["engine"]["dispatches"] - p["engine"]["data_packets"] for p in peer_reports
+    )
+    rdv = sum(p["engine"]["rdv_parked"] for p in peer_reports)
+    rdv_timeouts = sum(p["engine"]["rdv_timeouts"] for p in peer_reports)
+    failovers = sum(p["engine"]["failovers"] for p in peer_reports)
+    elapsed = max((p["now"] for p in peer_reports), default=0.0) or 1.0
+
+    report = SessionReport(
+        duration=duration,
+        messages=len(records),
+        total_bytes=total_bytes,
+        latency=LatencySummary.of(latencies),
+        latency_by_class=by_class,
+        throughput=total_bytes / duration if duration > 0 else 0.0,
+        message_rate=len(records) / duration if duration > 0 else 0.0,
+        network_transactions=transactions,
+        data_packets=data_packets,
+        control_packets=control,
+        aggregation_ratio=segments / data_packets if data_packets else 0.0,
+        nic_utilization=busy / (nic_count * elapsed) if nic_count else 0.0,
+        host_time=host,
+        rdv_count=rdv,
+        failovers=failovers,
+        rdv_timeouts=rdv_timeouts,
+    )
+    return report, records
+
+
+def run_live_scenario(
+    scenario: Mapping[str, Any],
+    *,
+    transport: str = "uds",
+    time_scale: float = 1.0,
+    trace: bool = False,
+    timeout: float = 60.0,
+) -> LiveRunResult:
+    """Execute a scenario over real sockets; returns the merged result.
+
+    ``transport`` is ``"uds"`` (default: Unix-domain sockets in a private
+    tempdir) or ``"tcp"`` (127.0.0.1 ephemeral ports).  ``timeout`` is a
+    hard wall-clock bound — if the mesh never quiesces, every peer is
+    killed and :class:`~repro.util.errors.TransportError` is raised with
+    peer stderr excerpts.  The scenario's ``"run"`` block (virtual-time
+    horizon) is ignored: a live run ends when traffic drains.
+    """
+    if transport not in ("uds", "tcp"):
+        raise ConfigurationError(f"live transport must be 'uds' or 'tcp', got {transport!r}")
+    if scenario.get("faults"):
+        raise ConfigurationError(
+            "live runs reject the 'faults' block: the socket transport is "
+            "already reliable, injected loss would be double-booked"
+        )
+    n_nodes = int(scenario.get("cluster", {}).get("n_nodes", 2))
+    if n_nodes < 2:
+        raise ConfigurationError(f"a live run needs >= 2 nodes, got {n_nodes}")
+
+    # Keep UDS paths short: sun_path is limited to ~104 bytes.
+    workdir = tempfile.mkdtemp(prefix="rlive-", dir="/tmp")
+    deadline = time.time() + timeout
+    peers: list[_Peer] = []
+    try:
+        peers = [_Peer(rank, workdir, deadline) for rank in range(n_nodes)]
+        epoch = time.time()
+        endpoints: dict[int, dict[str, Any]] = {}
+        for peer in peers:
+            reply = peer.request(
+                {
+                    "type": "config",
+                    "rank": peer.rank,
+                    "n_nodes": n_nodes,
+                    "epoch": epoch,
+                    "time_scale": time_scale,
+                    "trace": trace,
+                    "transport": transport,
+                    "workdir": workdir,
+                    "timeout": timeout,
+                    "scenario": dict(scenario),
+                }
+            )
+            endpoints[peer.rank] = reply["endpoint"]
+        # Higher ranks dial lower ranks, so confirm in descending order:
+        # rank 0 only has to *accept*, which needs no round-trip first.
+        mesh_msg = {"type": "mesh", "endpoints": {str(r): e for r, e in endpoints.items()}}
+        for peer in peers:
+            assert peer.proc.stdin is not None
+            peer.proc.stdin.write(json.dumps(mesh_msg) + "\n")
+            peer.proc.stdin.flush()
+        for peer in peers:
+            assert peer.proc.stdout is not None
+            line = peer.proc.stdout.readline()
+            if not line:
+                raise TransportError(
+                    f"peer {peer.rank} died during mesh setup: {peer.stderr_tail()}"
+                )
+            reply = json.loads(line)
+            if reply.get("type") != "mesh_ok":
+                raise TransportError(f"peer {peer.rank} mesh failed: {reply}")
+        for peer in peers:
+            peer.request({"type": "start"})
+
+        previous: tuple | None = None
+        stable = 0
+        while True:
+            if time.time() > deadline:
+                tails = "; ".join(
+                    f"p{p.rank}: {p.stderr_tail(400)!r}" for p in peers
+                )
+                raise TransportError(
+                    f"live run exceeded its {timeout}s wall-clock budget "
+                    f"without quiescing ({tails})"
+                )
+            statuses = [peer.request({"type": "status"}) for peer in peers]
+            for peer, status in zip(peers, statuses):
+                if status.get("fatal"):
+                    raise TransportError(
+                        f"peer {peer.rank} hit a transport fault:\n{status['fatal']}"
+                    )
+            submitted = sum(s["submitted"] for s in statuses)
+            done_rx = sum(s["done_received"] for s in statuses)
+            done_tx = sum(s["done_sent"] for s in statuses)
+            snapshot = (submitted, done_rx, done_tx)
+            quiet = all(s["quiet"] for s in statuses)
+            if quiet and submitted == done_rx == done_tx and snapshot == previous:
+                stable += 1
+                if stable >= 2:
+                    break
+            else:
+                stable = 0
+            previous = snapshot
+            time.sleep(_POLL_INTERVAL)
+
+        peer_reports = [peer.request({"type": "stop"}) for peer in peers]
+        for peer in peers:
+            try:
+                peer.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                peer.kill()
+    finally:
+        for peer in peers:
+            peer.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    for payload in peer_reports:
+        if payload.get("fatal"):
+            raise TransportError(
+                f"peer {payload['node']} hit a transport fault:\n{payload['fatal']}"
+            )
+    report, records = _merge_report(peer_reports)
+    events = [e for p in peer_reports for e in p.get("trace", [])]
+    events.sort(key=lambda e: e.get("time", 0.0))
+    rtts = [
+        sample
+        for p in peer_reports
+        for app in p.get("apps", [])
+        for sample in app.get("rtts", [])
+    ]
+    return LiveRunResult(
+        report=report,
+        records=records,
+        peer_reports=peer_reports,
+        trace_events=events,
+        rtts=rtts,
+    )

@@ -1,0 +1,151 @@
+"""A NIC whose busy/idle state machine is a real socket's send buffer.
+
+:class:`LiveNIC` subclasses the simulated :class:`~repro.network.nic.NIC`
+and keeps its *entire* contract — same ``submit`` signature the drivers
+call, same validation, same stats counters, same ``on_idle``
+subscription the optimizing engine uses as its activation trigger, same
+refill-break semantics in ``_complete``.  What changes is what "busy"
+means:
+
+* simulated: busy for a *modeled* ``occupancy`` computed from the
+  :class:`~repro.network.model.LinkModel`;
+* live: busy until the kernel accepted every byte of the encoded packet
+  (the asyncio writer's buffer drained with its high-water mark at 0).
+
+The paper's activation discipline — "the scheduler is activated when a
+NIC becomes idle" — therefore maps onto the drain event, and the backlog
+that accumulates while the socket is back-pressured is exactly the
+aggregation opportunity the optimizer exploits.
+
+The driver still computes its modeled ``(occupancy, one_way)`` pair;
+``LiveNIC`` records the modeled occupancy separately
+(:attr:`modeled_busy_time`) but accounts ``stats.busy_time`` from the
+*measured* wall-clock drain time, so NIC utilisation in live reports
+reflects reality, not the model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.network.model import LinkModel
+from repro.network.nic import NIC
+from repro.network.wire import WirePacket
+from repro.util.errors import InternalError, SimulationError
+
+from repro.live.loop import LiveClock
+from repro.live.transport import encode_live_packet
+
+__all__ = ["LiveNIC"]
+
+#: ``send(packet, encoded_bytes, on_drained)`` — enqueue the bytes for
+#: the packet's destination and invoke ``on_drained`` (from the event
+#: loop, after a clock refresh) once the kernel has accepted them all.
+SendFn = Callable[[WirePacket, bytes, Callable[[], None]], None]
+
+
+class LiveNIC(NIC):
+    """One socket-backed rail of a live peer.
+
+    ``send`` is provided by the peer's connection hub; the NIC neither
+    owns nor sees sockets — it sees "bytes accepted" completions, which
+    it translates into the idle transitions the engine subscribes to.
+    """
+
+    def __init__(
+        self,
+        clock: LiveClock,
+        name: str,
+        node_name: str,
+        link: LinkModel,
+        send: SendFn,
+    ) -> None:
+        super().__init__(clock, name, node_name, link, self._never_deliver)
+        self._send = send
+        self._clock = clock
+        #: Sum of driver-modeled occupancies, for modeled-vs-measured
+        #: comparison in live benchmarks (stats.busy_time is measured).
+        self.modeled_busy_time = 0.0
+        #: Measured drain time of the most recent request (virtual s).
+        self.last_drain = 0.0
+        self.drains = 0
+
+    @staticmethod
+    def _never_deliver(packet: WirePacket, occupancy: float) -> None:
+        raise InternalError(
+            "LiveNIC delivery goes through sockets; the simulated deliver "
+            "path must never run"
+        )
+
+    def submit(
+        self,
+        packet: WirePacket,
+        occupancy: float,
+        one_way: float,
+        host_time: float = 0.0,
+    ) -> None:
+        """Start one request: encode the packet and hand it to the socket.
+
+        The driver-computed ``occupancy``/``one_way`` keep their
+        simulated-path validation (a driver emitting nonsense timings is
+        a bug worth catching live too) but only feed
+        :attr:`modeled_busy_time`; the busy interval ends when the
+        kernel drains the bytes, not when a model says so.
+        """
+        if self._failed:
+            raise SimulationError(f"NIC {self.name!r} submit while failed (rail outage)")
+        if self._busy:
+            raise SimulationError(f"NIC {self.name!r} submit while busy")
+        if occupancy <= 0 or one_way < occupancy:
+            raise SimulationError(
+                f"NIC {self.name!r}: inconsistent timings occupancy={occupancy}, "
+                f"one_way={one_way}"
+            )
+        if packet.src != self.node_name:
+            raise SimulationError(
+                f"NIC {self.name!r} on node {self.node_name!r} asked to send a "
+                f"packet from {packet.src!r}"
+            )
+        data = encode_live_packet(packet)  # encode before flipping state:
+        # a serialization error must leave the NIC idle and usable.
+
+        self._busy = True
+        self.stats.requests += 1
+        self.stats.payload_bytes += packet.payload_bytes
+        self.stats.wire_bytes += packet.wire_bytes
+        self.stats.host_time += host_time
+        self.stats.segments += packet.segment_count
+        self.modeled_busy_time += occupancy
+        kind = packet.kind.value
+        self.stats.kind_counts[kind] = self.stats.kind_counts.get(kind, 0) + 1
+
+        tracer = self._sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._sim.now,
+                f"nic:{self.name}",
+                "nic.send",
+                packet=packet.packet_id,
+                packet_kind=kind,
+                bytes=packet.payload_bytes,
+                segments=packet.segment_count,
+                dst=packet.dst,
+                live_bytes=len(data),
+            )
+        started = time.perf_counter()
+        self._send(packet, data, lambda: self._drained(started))
+
+    def _drained(self, started: float) -> None:
+        """Kernel accepted every byte: measure, account, go idle.
+
+        Runs on the event loop (the hub refreshes the clock first), so
+        the idle-subscriber cascade — the engine's activation — sees a
+        current ``now`` and may immediately refill the NIC, which the
+        inherited ``_complete`` handles with its refill break.
+        """
+        measured = (time.perf_counter() - started) / self._clock.time_scale
+        self.stats.busy_time += measured
+        self.last_drain = measured
+        self.drains += 1
+        self._complete()

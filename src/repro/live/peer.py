@@ -1,0 +1,680 @@
+"""One live peer process: a single node of the engine stack over sockets.
+
+Run as ``python -m repro.live.peer`` by the coordinator
+(:mod:`repro.live.cluster`); never started by hand.  The peer speaks a
+JSON-lines control protocol on stdin/stdout::
+
+    CONFIG  -> READY {endpoint}          build the stack, bind a server
+    MESH    -> MESH_OK                   connect to lower ranks, await rest
+    START   -> STARTED                   install workload apps
+    STATUS  -> STATUS {quiet, counters}  quiescence polling
+    STOP    -> REPORT {...}              final records + counters, then exit
+
+Inside, the peer assembles the *same* stack the simulated
+:class:`~repro.runtime.cluster.Cluster` builds — NICs, drivers from the
+registry, an unmodified :class:`~repro.core.engine.OptimizingEngine` (or
+the legacy baseline), reassembler, :class:`~repro.madeleine.api.MadAPI`
+— except the NICs are :class:`~repro.live.nic.LiveNIC`\\ s whose idle
+transition is a socket-drain event, and time is a
+:class:`~repro.live.loop.LiveClock` over asyncio.
+
+**Symmetry rule.**  Every peer builds the *entire* scenario — all flows,
+all apps — but only its own node gets a real engine; remote nodes get
+stubs whose ``submit_message`` is a no-op.  Because every flow is opened
+synchronously during app install, before any traffic, the module-level
+flow-id counter assigns identical ids on every peer, which is what lets
+a wire descriptor's ``flow`` field resolve to the right local
+:class:`~repro.madeleine.message.Flow` object.  Processes driving a
+remote node's half of a workload simply stall on futures that never
+resolve locally; global termination is detected by counter agreement
+(messages submitted == deliveries acknowledged), not by app completion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import threading
+import traceback
+from collections import deque
+from typing import Any, Callable
+
+from repro.core.config import EngineConfig
+from repro.core.strategies.base import make_strategy
+from repro.drivers.registry import make_driver
+from repro.madeleine.api import MadAPI
+from repro.madeleine.message import Flow, Message
+from repro.madeleine.rx import MessageReassembler
+from repro.network.fabric import Node
+from repro.network.technologies import TECHNOLOGIES
+from repro.network.virtual import TrafficClass
+from repro.obs.recorder import ListSink
+from repro.runtime.metrics import MetricsCollector
+from repro.util.errors import ConfigurationError, ProtocolError
+from repro.util.rng import SeedSequenceRegistry
+from repro.util.tracing import Tracer, event_to_dict
+
+from repro.live.loop import LiveClock
+from repro.live.nic import LiveNIC
+from repro.live.transport import (
+    MirrorReceiver,
+    StreamDecoder,
+    done_frame,
+    hello_frame,
+    live_ctrl_kind,
+)
+
+__all__ = ["LivePeer", "main"]
+
+_READ_CHUNK = 1 << 16
+_TRACE_CAP = 50_000
+
+
+def _node_names(n: int) -> list[str]:
+    return [f"n{i}" for i in range(n)]
+
+
+# --------------------------------------------------------------------------
+# socket hub: the peer's connections to every other peer
+# --------------------------------------------------------------------------
+
+
+class _Connection:
+    """One socket to one peer: a single pump task + a reader task.
+
+    asyncio's ``StreamWriter.drain`` supports exactly one concurrent
+    waiter, so all outbound records funnel through one pump coroutine;
+    NIC submits enqueue ``(bytes, on_drained)`` and the pump invokes the
+    callback once the kernel accepted every byte (write-buffer high-water
+    mark is 0, so ``drain`` returning *means* drained).
+    """
+
+    def __init__(self, hub: "Hub", reader, writer, name: str | None) -> None:
+        self.hub = hub
+        self.reader = reader
+        self.writer = writer
+        self.name = name  # peer node name; None until its HELLO arrives
+        self.decoder = StreamDecoder()
+        self.outbound: deque[tuple[bytes, Callable[[], None] | None]] = deque()
+        self._wake = asyncio.Event()
+        writer.transport.set_write_buffer_limits(0)
+        self._tasks = [
+            asyncio.ensure_future(self._pump()),
+            asyncio.ensure_future(self._read()),
+        ]
+
+    def enqueue(self, data: bytes, on_drained: Callable[[], None] | None) -> None:
+        self.outbound.append((data, on_drained))
+        self.hub.writes_in_flight += 1
+        self._wake.set()
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                while not self.outbound:
+                    self._wake.clear()
+                    await self._wake.wait()
+                data, on_drained = self.outbound.popleft()
+                self.writer.write(data)
+                await self.writer.drain()
+                self.hub.bytes_tx += len(data)
+                self.hub.clock.refresh()
+                self.hub.writes_in_flight -= 1
+                if on_drained is not None:
+                    on_drained()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception:  # pragma: no cover - surfaced via STATUS
+            self.hub.note_fatal(traceback.format_exc())
+
+    async def _read(self) -> None:
+        try:
+            while True:
+                chunk = await self.reader.read(_READ_CHUNK)
+                if not chunk:
+                    return
+                self.hub.bytes_rx += len(chunk)
+                self.hub.clock.refresh()
+                for frame in self.decoder.feed(chunk):
+                    self.hub.handle_frame(frame, self)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception:  # pragma: no cover - surfaced via STATUS
+            self.hub.note_fatal(traceback.format_exc())
+
+    def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+
+class Hub:
+    """All-to-all socket mesh plus sender-side delivery bookkeeping."""
+
+    def __init__(self, clock: LiveClock, node_name: str, rank: int, deliver) -> None:
+        self.clock = clock
+        self.node_name = node_name
+        self.rank = rank
+        self._deliver = deliver  # deliver(frame): engine/data traffic
+        self._conns: dict[str, _Connection] = {}
+        self._anonymous: list[_Connection] = []
+        self._mesh_ready = asyncio.Event()
+        self._expected: set[str] = set()
+        self._server = None
+        self.writes_in_flight = 0
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        #: Locally submitted messages awaiting a DONE acknowledgement.
+        self.sent_messages: dict[int, Message] = {}
+        self.submitted = 0
+        self.done_sent = 0
+        self.done_received = 0
+        self.fatal: str | None = None
+
+    def note_fatal(self, text: str) -> None:
+        """Record the first transport fault; surfaced via STATUS polls."""
+        if self.fatal is None:
+            self.fatal = text
+
+    # -- server / mesh -------------------------------------------------
+    async def serve(self, transport: str, workdir: str) -> dict[str, Any]:
+        """Bind the listening socket; returns the endpoint descriptor."""
+        if transport == "uds":
+            path = f"{workdir}/p{self.rank}.sock"
+            self._server = await asyncio.start_unix_server(self._on_accept, path=path)
+            return {"kind": "uds", "path": path}
+        if transport == "tcp":
+            self._server = await asyncio.start_server(self._on_accept, "127.0.0.1", 0)
+            host, port = self._server.sockets[0].getsockname()[:2]
+            return {"kind": "tcp", "host": host, "port": port}
+        raise ConfigurationError(f"unknown live transport {transport!r}")
+
+    def _on_accept(self, reader, writer) -> None:
+        self._anonymous.append(_Connection(self, reader, writer, None))
+
+    async def connect(self, peer_name: str, endpoint: dict[str, Any]) -> None:
+        """Dial one peer's endpoint and introduce ourselves with a HELLO."""
+        if endpoint["kind"] == "uds":
+            reader, writer = await asyncio.open_unix_connection(endpoint["path"])
+        else:
+            reader, writer = await asyncio.open_connection(
+                endpoint["host"], endpoint["port"]
+            )
+        conn = _Connection(self, reader, writer, peer_name)
+        self._register(peer_name, conn)
+        conn.enqueue(hello_frame(self.node_name, self.rank), None)
+
+    def _register(self, name: str, conn: _Connection) -> None:
+        conn.name = name
+        existing = self._conns.get(name)
+        if existing is not None and existing is not conn:
+            raise ProtocolError(f"duplicate connection from peer {name!r}")
+        self._conns[name] = conn
+        if self._expected and self._expected.issubset(self._conns):
+            self._mesh_ready.set()
+
+    async def await_mesh(self, expected: set[str]) -> None:
+        """Block until a connection to every expected peer is identified."""
+        self._expected = set(expected)
+        if self._expected.issubset(self._conns):
+            return
+        await self._mesh_ready.wait()
+
+    # -- sending -------------------------------------------------------
+    def send_packet(self, packet, data: bytes, on_drained) -> None:
+        """NIC path: ship one engine packet to its destination peer."""
+        conn = self._conns.get(packet.dst)
+        if conn is None:
+            raise ProtocolError(
+                f"no live connection from {self.node_name!r} to {packet.dst!r}"
+            )
+        for segment in packet.segments:
+            message = segment.payload.message
+            if message.message_id not in self.sent_messages:
+                self.sent_messages[message.message_id] = message
+                self.submitted += 1
+        conn.enqueue(data, on_drained)
+
+    def send_done(self, dst: str, message_id: int, when: float) -> None:
+        """Acknowledge a completed delivery back to its sender."""
+        conn = self._conns.get(dst)
+        if conn is None:
+            raise ProtocolError(f"cannot acknowledge to unknown peer {dst!r}")
+        self.done_sent += 1
+        conn.enqueue(done_frame(self.node_name, dst, [(message_id, when)]), None)
+
+    # -- receiving -----------------------------------------------------
+    def handle_frame(self, frame, conn: _Connection) -> None:
+        """Route one decoded frame: transport control here, data onward.
+
+        HELLO identifies an inbound connection; DONE resolves the
+        acknowledged messages' completion futures; everything else is
+        engine traffic handed to the node's receiver via ``deliver``.
+        """
+        ctrl = live_ctrl_kind(frame)
+        if ctrl == "hello":
+            self._register(str(frame.meta["node"]), conn)
+            return
+        if ctrl == "done":
+            for message_id, when in frame.meta.get("items", ()):
+                message = self.sent_messages.pop(message_id, None)
+                if message is None:
+                    continue  # duplicate/late DONE: already accounted
+                self.done_received += 1
+                if not message.completion.done:
+                    message.completion.resolve(float(when))
+            return
+        self._deliver(frame)
+
+    # -- quiescence / teardown -----------------------------------------
+    @property
+    def buffered_bytes(self) -> int:
+        """Partial frames sitting in any connection's decoder."""
+        total = sum(c.decoder.buffered for c in self._conns.values())
+        return total + sum(c.decoder.buffered for c in self._anonymous)
+
+    def close(self) -> None:
+        """Tear down every connection and the listening server."""
+        for conn in self._conns.values():
+            conn.close()
+        for conn in self._anonymous:
+            conn.close()
+        if self._server is not None:
+            self._server.close()
+
+
+# --------------------------------------------------------------------------
+# the engine stack, assembled for one node
+# --------------------------------------------------------------------------
+
+
+class _StubEngine:
+    """Engine stand-in for remote nodes (satisfies CommEngineProtocol).
+
+    A message submitted here belongs to a process that is really running
+    on another peer; locally it goes nowhere and the submitting process
+    stalls on a future that never resolves — by design.
+    """
+
+    def __init__(self, node_name: str) -> None:
+        self.node_name = node_name
+
+    def submit_message(self, message: Message) -> None:
+        pass
+
+    def post_receive(self, flow: Flow, count: int = 1) -> None:
+        pass
+
+
+class _RegisteringAPI(MadAPI):
+    """MadAPI that records every opened flow in a shared id registry.
+
+    The registry is what lets the mirror receiver resolve a wire
+    descriptor's flow id back to the local ``Flow`` object.
+    """
+
+    def __init__(self, node_name, engine, reassembler, registry: dict[int, Flow]) -> None:
+        super().__init__(node_name, engine, reassembler)
+        self._registry = registry
+
+    def open_flow(self, dst, name=None, traffic_class=TrafficClass.DEFAULT) -> Flow:
+        flow = super().open_flow(dst, name, traffic_class)
+        self._registry[flow.flow_id] = flow
+        return flow
+
+
+class _PeerCluster:
+    """The cluster facade workload apps program against.
+
+    Apps only touch ``.sim``, ``.api(name)`` and ``.stream(name)`` (see
+    :class:`~repro.middleware.base.AppBase`); this provides exactly
+    those, backed by the live clock and per-node APIs.
+    """
+
+    def __init__(self, sim: LiveClock, apis: dict[str, MadAPI], rng) -> None:
+        self.sim = sim
+        self.apis = apis
+        self.rng = rng
+
+    def api(self, node_name: str) -> MadAPI:
+        return self.apis[node_name]
+
+    def stream(self, name: str):
+        return self.rng.stream(name)
+
+
+class LivePeer:
+    """Everything one peer process owns; driven by the control protocol."""
+
+    def __init__(self, config: dict[str, Any]) -> None:
+        scenario = config["scenario"]
+        if scenario.get("faults"):
+            raise ConfigurationError(
+                "live runs reject the 'faults' block: TCP/UDS transport is "
+                "already reliable, injected loss would be double-booked"
+            )
+        self.rank = int(config["rank"])
+        self.n_nodes = int(config["n_nodes"])
+        self.scenario = scenario
+        self.names = _node_names(self.n_nodes)
+        self.local = self.names[self.rank]
+        self.timeout = float(config.get("timeout", 60.0))
+
+        self.tracer = Tracer()
+        self.trace_sink = ListSink()
+        if config.get("trace"):
+            self.tracer.subscribe(self.trace_sink)
+        loop = asyncio.get_running_loop()
+        self.clock = LiveClock(
+            loop,
+            epoch=float(config["epoch"]),
+            time_scale=float(config.get("time_scale", 1.0)),
+            tracer=self.tracer,
+        )
+        self.hub = Hub(self.clock, self.local, self.rank, self._deliver_frame)
+        self.flows: dict[int, Flow] = {}
+        self.mirror = MirrorReceiver(self.local, self.flows.get)
+        self.metrics = MetricsCollector()
+        self.apps: list = []
+        self._build_stack()
+
+    # -- construction --------------------------------------------------
+    def _build_stack(self) -> None:
+        spec = dict(self.scenario.get("cluster", {}))
+        engine_kind = spec.get("engine", "optimizing")
+        networks = [tuple(net) for net in spec.get("networks", [("mx", 1)])]
+        seed = spec.get("seed", 0)
+
+        self.node = Node(self.clock, self.local)
+        for i, (tech, per_node) in enumerate(networks):
+            if tech not in TECHNOLOGIES:
+                raise ConfigurationError(
+                    f"unknown technology {tech!r} (known: {sorted(TECHNOLOGIES)})"
+                )
+            link = TECHNOLOGIES[tech]()
+            for idx in range(per_node):
+                self.node.nics.append(
+                    LiveNIC(
+                        self.clock,
+                        f"{self.local}.{tech}{i}{idx}",
+                        self.local,
+                        link,
+                        self.hub.send_packet,
+                    )
+                )
+        drivers = [make_driver(nic) for nic in self.node.nics]
+
+        config_spec = spec.get("config")
+        engine_config = EngineConfig(**config_spec) if config_spec else None
+        kwargs: dict[str, Any] = {"config": engine_config}
+        if engine_kind == "optimizing":
+            from repro.core.engine import OptimizingEngine as engine_cls
+            from repro.runtime.scenario import POLICY_TYPES
+
+            strategy_name = spec.get("strategy")
+            kwargs["strategy"] = (
+                make_strategy(strategy_name) if strategy_name is not None else None
+            )
+            policy_name = spec.get("policy")
+            if policy_name is not None:
+                kwargs["policy"] = POLICY_TYPES[policy_name]()
+        elif engine_kind == "legacy":
+            from repro.baseline.legacy import LegacyEngine as engine_cls
+        else:
+            raise ConfigurationError(f"unknown engine kind {engine_kind!r}")
+        self.engine = engine_cls(self.clock, self.node, drivers, **kwargs)
+
+        self.reassembler = MessageReassembler(self.clock, self.local)
+        self.node.receiver.register_default_sink(self.reassembler.sink)
+        self.metrics.attach(self.reassembler)
+        # Chain-wrap the reassembler's single completion slot: metrics
+        # first (records the delivery), then the DONE acknowledgement
+        # back to the sender so it can resolve the original message.
+        record = self.reassembler.on_message_complete
+
+        def on_complete(message: Message, now: float) -> None:
+            record(message, now)
+            origin = self.mirror.origin_of(message)
+            if origin is not None:
+                src, sender_mid = origin
+                self.hub.send_done(src, sender_mid, now)
+                self.mirror.forget(message)
+
+        self.reassembler.on_message_complete = on_complete
+
+        self.apis: dict[str, MadAPI] = {
+            self.local: _RegisteringAPI(
+                self.local, self.engine, self.reassembler, self.flows
+            )
+        }
+        for name in self.names:
+            if name == self.local:
+                continue
+            stub_rx = MessageReassembler(self.clock, name)
+            self.apis[name] = _RegisteringAPI(
+                name, _StubEngine(name), stub_rx, self.flows
+            )
+        self.facade = _PeerCluster(self.clock, self.apis, SeedSequenceRegistry(seed))
+
+    # -- inbound engine traffic ----------------------------------------
+    def _deliver_frame(self, frame) -> None:
+        packet = self.mirror.packet_from_frame(frame)
+        self.node.receiver.deliver(packet)
+
+    # -- control-protocol steps ----------------------------------------
+    def install_apps(self) -> int:
+        """Build and install every scenario workload; returns the count.
+
+        Installation opens all flows synchronously (the symmetry rule in
+        the module docstring) and starts the app processes — traffic
+        begins as soon as the event loop runs.
+        """
+        from repro.runtime.scenario import _build_app
+
+        workloads = self.scenario.get("workloads", [])
+        if not workloads:
+            raise ConfigurationError("scenario has no workloads")
+        for entry in workloads:
+            app = _build_app(entry)
+            app.install(self.facade)
+            self.apps.append(app)
+        return len(self.apps)
+
+    @property
+    def quiet(self) -> bool:
+        """No local activity is pending or in flight.
+
+        The live analogue of an empty simulator event queue: nothing in
+        the waiting lists, no hold timer, no handshake awaiting a reply,
+        every NIC idle, no half-reassembled message, no armed clock
+        timer, no bytes the kernel has not accepted, and no partial
+        frame in any stream decoder.  Cross-peer bytes still in flight
+        are caught by the coordinator's counter-agreement check, not
+        here.
+        """
+        engine = self.engine
+        return (
+            engine.backlog == 0
+            and not engine.hold_timer_armed
+            and engine.rendezvous_in_flight == 0
+            and engine.deferred_rendezvous == 0
+            and all(nic.idle for nic in self.node.nics)
+            and self.reassembler.incomplete_messages == 0
+            and self.clock.pending_timers == 0
+            and self.hub.writes_in_flight == 0
+            and self.hub.buffered_bytes == 0
+        )
+
+    def status(self) -> dict[str, Any]:
+        """One STATUS reply: quiescence flag plus delivery counters."""
+        return {
+            "type": "status",
+            "quiet": self.quiet,
+            "submitted": self.hub.submitted,
+            "done_sent": self.hub.done_sent,
+            "done_received": self.hub.done_received,
+            "fatal": self.hub.fatal,
+        }
+
+    def report(self) -> dict[str, Any]:
+        """The final REPORT payload: records, counters, apps, trace."""
+        records = [
+            {
+                "message_id": r.message_id,
+                "flow_name": r.flow_name,
+                "traffic_class": r.traffic_class.value,
+                "src": r.src,
+                "dst": r.dst,
+                "size": r.size,
+                "fragments": r.fragments,
+                "submit_time": r.submit_time,
+                "complete_time": r.complete_time,
+            }
+            for r in self.metrics.records
+        ]
+        es = self.engine.stats
+        engine_stats = {
+            "messages_submitted": es.messages_submitted,
+            "dispatches": es.dispatches,
+            "data_packets": es.data_packets,
+            "data_segments": es.data_segments,
+            "aggregated_packets": es.aggregated_packets,
+            "holds": es.holds,
+            "rdv_parked": es.rdv_parked,
+            "rdv_timeouts": es.rdv_timeouts,
+            "failovers": es.failovers,
+            "activations": dict(es.activations),
+        }
+        nics = [
+            {
+                "name": nic.name,
+                "requests": nic.stats.requests,
+                "payload_bytes": nic.stats.payload_bytes,
+                "wire_bytes": nic.stats.wire_bytes,
+                "busy_time": nic.stats.busy_time,
+                "modeled_busy_time": nic.modeled_busy_time,
+                "host_time": nic.stats.host_time,
+                "segments": nic.stats.segments,
+                "drains": nic.drains,
+            }
+            for nic in self.node.nics
+        ]
+        apps = []
+        for app in self.apps:
+            entry: dict[str, Any] = {"name": app.name, "kind": type(app).__name__}
+            rtts = getattr(app, "rtts", None)
+            if rtts:
+                entry["rtts"] = list(rtts)
+            apps.append(entry)
+        events = self.trace_sink.events
+        dropped = max(0, len(events) - _TRACE_CAP)
+        return {
+            "type": "report",
+            "node": self.local,
+            "now": self.clock.refresh(),
+            "records": records,
+            "engine": engine_stats,
+            "nics": nics,
+            "transport": {
+                "bytes_tx": self.hub.bytes_tx,
+                "bytes_rx": self.hub.bytes_rx,
+                "bytes_verified": self.mirror.bytes_verified,
+                "corrupt_slices": self.mirror.corrupt_slices,
+                "submitted": self.hub.submitted,
+                "done_sent": self.hub.done_sent,
+                "done_received": self.hub.done_received,
+            },
+            "apps": apps,
+            "trace": [event_to_dict(e) for e in events[:_TRACE_CAP]],
+            "trace_dropped": dropped,
+            "fatal": self.hub.fatal,
+        }
+
+
+# --------------------------------------------------------------------------
+# process entry point
+# --------------------------------------------------------------------------
+
+
+def _reply(obj: dict[str, Any]) -> None:
+    sys.stdout.write(json.dumps(obj) + "\n")
+    sys.stdout.flush()
+
+
+def _stdin_reader(loop: asyncio.AbstractEventLoop, queue: asyncio.Queue) -> None:
+    for line in sys.stdin:
+        loop.call_soon_threadsafe(queue.put_nowait, line)
+    loop.call_soon_threadsafe(queue.put_nowait, None)
+
+
+async def _control_loop() -> int:
+    loop = asyncio.get_running_loop()
+    queue: asyncio.Queue = asyncio.Queue()
+    threading.Thread(target=_stdin_reader, args=(loop, queue), daemon=True).start()
+
+    peer: LivePeer | None = None
+    while True:
+        line = await queue.get()
+        if line is None:
+            return 0 if peer is None else 2  # coordinator vanished
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError:
+            _reply({"type": "error", "error": f"bad control line: {line!r}"})
+            continue
+        kind = msg.get("type")
+        try:
+            if kind == "config":
+                peer = LivePeer(msg)
+                endpoint = await peer.hub.serve(
+                    msg.get("transport", "uds"), msg["workdir"]
+                )
+                # Belt-and-braces self-destruct if the coordinator never
+                # gets to STOP (its own watchdog should fire first).
+                loop.call_later(peer.timeout * 1.5, os._exit, 3)
+                _reply({"type": "ready", "endpoint": endpoint, "node": peer.local})
+            elif kind == "mesh":
+                assert peer is not None
+                endpoints = msg["endpoints"]
+                for rank_str, endpoint in endpoints.items():
+                    rank = int(rank_str)
+                    if rank < peer.rank:
+                        await peer.hub.connect(peer.names[rank], endpoint)
+                expected = {n for n in peer.names if n != peer.local}
+                await asyncio.wait_for(
+                    peer.hub.await_mesh(expected), timeout=peer.timeout
+                )
+                _reply({"type": "mesh_ok"})
+            elif kind == "start":
+                assert peer is not None
+                count = peer.install_apps()
+                _reply({"type": "started", "apps": count})
+            elif kind == "status":
+                assert peer is not None
+                _reply(peer.status())
+            elif kind == "stop":
+                assert peer is not None
+                _reply(peer.report())
+                peer.hub.close()
+                return 0
+            else:
+                _reply({"type": "error", "error": f"unknown control type {kind!r}"})
+        except SystemExit:
+            raise
+        except BaseException:
+            _reply({"type": "error", "error": traceback.format_exc()})
+            return 1
+
+
+def main() -> int:
+    """Entry point for ``python -m repro.live.peer``."""
+    return asyncio.run(_control_loop())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

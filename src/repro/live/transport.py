@@ -1,0 +1,365 @@
+"""Socket-level framing and the fragment ↔ wire-bytes mapping.
+
+Three layers live here, all shared by the peer processes and the tests:
+
+* **Stream framing** — every socket carries a sequence of
+  ``u32 length || wire-codec frame`` records.  The wire-codec frame is
+  exactly what :func:`repro.network.wire.encode_frame` produces (magic,
+  version, CRC-32), so the stream layer only needs to split; a
+  :class:`StreamDecoder` is tolerant of arbitrary partial reads and
+  rejects oversized or corrupt frames with a typed
+  :class:`~repro.util.errors.WireError`.
+* **Deterministic payload bytes** — the simulator moves *sizes*, not
+  bytes; the live plane must put real bytes on the wire and prove they
+  arrive intact.  Every fragment's content is a deterministic function
+  of ``(sender node, message id, fragment index)``
+  (:func:`fragment_seed` + :func:`payload_bytes`), addressable at any
+  offset, so the receiver can verify byte-identical delivery of any
+  slice without shipping expected values out of band.
+* **Mirror reassembly** — on receive, :class:`MirrorReceiver` rebuilds a
+  local :class:`~repro.madeleine.message.Message`/``Fragment`` skeleton
+  from the segment descriptors and hands a normal
+  :class:`~repro.network.wire.WirePacket` to the node's receiver, so the
+  existing reassembler, inboxes, subscriptions, and metrics all run
+  unmodified.  Mirror messages use a *negative* id space — the sender's
+  ids live in another process and must not collide with locally created
+  messages — and are keyed back to ``(src node, sender message id)`` so
+  completions can be acknowledged to the sender.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import zlib
+from typing import Any, Callable, Iterable
+
+from repro.madeleine.message import Flow, Fragment, Message, PackMode
+from repro.network.wire import (
+    DecodedFrame,
+    PacketKind,
+    WirePacket,
+    WireSegment,
+    decode_frame,
+    encode_frame,
+)
+from repro.sim.process import Future
+from repro.util.errors import ProtocolError, WireError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "StreamDecoder",
+    "wrap_frame",
+    "fragment_seed",
+    "payload_bytes",
+    "encode_live_packet",
+    "hello_frame",
+    "done_frame",
+    "live_ctrl_kind",
+    "MirrorReceiver",
+]
+
+#: Upper bound on one framed record; a length prefix beyond this is
+#: treated as stream corruption, not an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH_PREFIX = struct.Struct("!I")
+
+
+def wrap_frame(frame: bytes) -> bytes:
+    """Prefix one wire-codec frame with its length for the stream."""
+    if len(frame) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(frame)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH_PREFIX.pack(len(frame)) + frame
+
+
+class StreamDecoder:
+    """Incremental splitter: arbitrary byte chunks in, decoded frames out.
+
+    ``feed`` never assumes a read boundary lines up with a frame — a
+    TCP segment may end mid-prefix, mid-header, or mid-payload; the
+    remainder is buffered until the next chunk.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[DecodedFrame]:
+        """Absorb one chunk; return every frame it completes."""
+        self._buffer.extend(data)
+        frames: list[DecodedFrame] = []
+        while True:
+            if len(self._buffer) < _LENGTH_PREFIX.size:
+                return frames
+            (length,) = _LENGTH_PREFIX.unpack(self._buffer[: _LENGTH_PREFIX.size])
+            if length > MAX_FRAME_BYTES:
+                raise WireError(
+                    f"stream declares a {length}-byte frame (max {MAX_FRAME_BYTES}); "
+                    "treating as corruption"
+                )
+            end = _LENGTH_PREFIX.size + length
+            if len(self._buffer) < end:
+                return frames
+            frame = bytes(self._buffer[_LENGTH_PREFIX.size : end])
+            del self._buffer[:end]
+            frames.append(decode_frame(frame))
+
+
+# --------------------------------------------------------------------------
+# deterministic payload bytes
+# --------------------------------------------------------------------------
+
+_TILE_BYTES = 256
+_tile_cache: dict[int, bytes] = {}
+
+
+def fragment_seed(src: str, message_id: int, fragment_index: int) -> int:
+    """Stable 32-bit seed identifying one fragment's byte pattern."""
+    return zlib.crc32(f"{src}/{message_id}/{fragment_index}".encode("utf-8"))
+
+
+def _tile(seed: int) -> bytes:
+    cached = _tile_cache.get(seed)
+    if cached is not None:
+        return cached
+    out = bytearray(_TILE_BYTES)
+    x = (seed or 0x9E3779B9) & 0xFFFFFFFF
+    for i in range(_TILE_BYTES):
+        x = (x * 1103515245 + 12345) & 0xFFFFFFFF
+        out[i] = (x >> 16) & 0xFF
+    tile = bytes(out)
+    if len(_tile_cache) > 4096:  # sender registries bound this; belt and braces
+        _tile_cache.clear()
+    _tile_cache[seed] = tile
+    return tile
+
+
+def payload_bytes(seed: int, offset: int, length: int) -> bytes:
+    """The fragment's bytes over ``[offset, offset + length)``.
+
+    Absolute-offset addressable: the optimizer may split one fragment
+    across packets (striping, rendezvous chunking) and each slice must
+    be independently generable and verifiable.
+    """
+    if offset < 0 or length < 0:
+        raise WireError(f"negative payload slice ({offset}, {length})")
+    if length == 0:
+        return b""
+    tile = _tile(seed)
+    start = offset % _TILE_BYTES
+    reps = (start + length + _TILE_BYTES - 1) // _TILE_BYTES
+    return (tile * reps)[start : start + length]
+
+
+# --------------------------------------------------------------------------
+# outbound: WirePacket → frame bytes
+# --------------------------------------------------------------------------
+
+
+def _segment_descriptor(fragment: Fragment) -> dict[str, Any]:
+    message = fragment.message
+    return {
+        "flow": message.flow.flow_id,
+        "msg": message.message_id,
+        "idx": fragment.index,
+        "layout": [[f.size, 1 if f.express else 0] for f in message.fragments],
+        "submit": message.submit_time,
+        "seq": message.seq,
+        "ctx": message.context,
+    }
+
+
+def encode_live_packet(packet: WirePacket) -> bytes:
+    """Serialize one engine-produced packet into a stream record.
+
+    Data segments reference in-process ``Fragment`` objects; each
+    becomes a JSON descriptor (enough for the receiver to rebuild the
+    message skeleton) plus deterministic pattern bytes for the slice.
+    Control packets (rendezvous handshake) carry their ``meta`` only.
+    """
+    segments = []
+    for seg in packet.segments:
+        fragment = seg.payload
+        if not isinstance(fragment, Fragment):
+            raise ProtocolError(
+                f"live transport cannot serialize non-fragment payload {seg.payload!r}"
+            )
+        seed = fragment_seed(packet.src, fragment.message.message_id, fragment.index)
+        segments.append(
+            (_segment_descriptor(fragment), seg.offset, seg.length, payload_bytes(seed, seg.offset, seg.length))
+        )
+    frame = encode_frame(
+        packet.kind, packet.src, packet.dst, packet.channel_id, packet.meta, segments
+    )
+    return wrap_frame(frame)
+
+
+# --------------------------------------------------------------------------
+# transport-level control frames (never reach the node receiver)
+# --------------------------------------------------------------------------
+
+
+def live_ctrl_kind(frame: DecodedFrame) -> str | None:
+    """The transport-control tag of a frame, or None for engine traffic."""
+    tag = frame.meta.get("live_ctrl")
+    return tag if isinstance(tag, str) else None
+
+
+def hello_frame(src: str, rank: int) -> bytes:
+    """Mesh handshake: identifies the sending peer on a fresh connection."""
+    return wrap_frame(
+        encode_frame(
+            PacketKind.CTRL, src, "*", -1, {"live_ctrl": "hello", "rank": rank, "node": src}
+        )
+    )
+
+
+def done_frame(src: str, dst: str, items: Iterable[tuple[int, float]]) -> bytes:
+    """Delivery acknowledgement: ``items`` are (sender message id, time).
+
+    Sent receiver → sender when a mirrored message completes, so the
+    sender can resolve the original ``Message.completion`` future (the
+    live analogue of the simulator resolving it at arrival time).
+    """
+    return wrap_frame(
+        encode_frame(
+            PacketKind.CTRL,
+            src,
+            dst,
+            -1,
+            {"live_ctrl": "done", "items": [[mid, t] for mid, t in items]},
+        )
+    )
+
+
+# --------------------------------------------------------------------------
+# inbound: frame → WirePacket with mirror fragments
+# --------------------------------------------------------------------------
+
+
+class MirrorReceiver:
+    """Rebuilds message/fragment skeletons for packets arriving by socket.
+
+    One per peer.  The first slice of an unseen ``(src, message id)``
+    creates a *mirror* message — negative id, the local ``Flow`` object
+    looked up by the flow id the symmetric scenario construction
+    guarantees both sides share — and every slice is verified against
+    the deterministic payload pattern before being handed to the node's
+    ordinary receiver.
+    """
+
+    def __init__(self, node_name: str, flow_lookup: Callable[[int], Flow | None]) -> None:
+        self.node_name = node_name
+        self._flow_lookup = flow_lookup
+        self._mirrors: dict[tuple[str, int], Message] = {}
+        self._origins: dict[int, tuple[str, int]] = {}
+        self._mirror_ids = itertools.count(-1, -1)
+        self.bytes_verified = 0
+        self.corrupt_slices = 0
+
+    def packet_from_frame(self, frame: DecodedFrame) -> WirePacket:
+        """Reconstruct the data packet the sending engine dispatched."""
+        segments: list[WireSegment] = []
+        for seg in frame.segments:
+            fragment = self._mirror_fragment(frame.src, seg.descriptor)
+            seed = fragment_seed(frame.src, seg.descriptor["msg"], fragment.index)
+            expected = payload_bytes(seed, seg.offset, seg.length)
+            if seg.data != expected:
+                self.corrupt_slices += 1
+                raise WireError(
+                    f"payload mismatch on {frame.src}->{self.node_name} "
+                    f"msg {seg.descriptor['msg']} fragment {fragment.index} "
+                    f"[{seg.offset}, {seg.offset + seg.length})"
+                )
+            self.bytes_verified += seg.length
+            segments.append(WireSegment(fragment, seg.offset, seg.length))
+        return WirePacket(
+            kind=frame.kind,
+            src=frame.src,
+            dst=frame.dst,
+            channel_id=frame.channel_id,
+            segments=tuple(segments),
+            meta=frame.meta,
+        )
+
+    def _mirror_fragment(self, src: str, descriptor: dict[str, Any]) -> Fragment:
+        try:
+            sender_mid = descriptor["msg"]
+            flow_id = descriptor["flow"]
+            index = descriptor["idx"]
+            layout = descriptor["layout"]
+        except KeyError as missing:
+            raise WireError(f"segment descriptor missing {missing}") from None
+        message = self._mirrors.get((src, sender_mid))
+        if message is None:
+            message = self._make_mirror(src, sender_mid, flow_id, layout, descriptor)
+        if not 0 <= index < len(message.fragments):
+            raise WireError(
+                f"fragment index {index} outside mirror layout of "
+                f"{len(message.fragments)} fragment(s)"
+            )
+        return message.fragments[index]
+
+    def _make_mirror(
+        self,
+        src: str,
+        sender_mid: int,
+        flow_id: int,
+        layout: list,
+        descriptor: dict[str, Any],
+    ) -> Message:
+        flow = self._flow_lookup(flow_id)
+        if flow is None:
+            raise ProtocolError(
+                f"packet from {src!r} references unknown flow id {flow_id} "
+                f"on node {self.node_name!r} (scenario construction out of sync?)"
+            )
+        if flow.dst != self.node_name:
+            raise ProtocolError(
+                f"flow {flow.name!r} terminates at {flow.dst!r}, but its data "
+                f"arrived at {self.node_name!r}"
+            )
+        # Bypass Message.__init__: it would bump the shared id counter and
+        # the flow's messages_sent, desynchronizing this peer's locally
+        # created messages from the sender's.
+        message = object.__new__(Message)
+        message.message_id = next(self._mirror_ids)
+        message.flow = flow
+        message.fragments = []
+        message.submit_time = float(descriptor.get("submit") or 0.0)
+        message.completion = Future()
+        message.seq = int(descriptor.get("seq") or 0)
+        message.context = descriptor.get("ctx") or {}
+        for i, entry in enumerate(layout):
+            try:
+                size, express = int(entry[0]), bool(entry[1])
+            except (TypeError, ValueError, IndexError):
+                raise WireError(f"malformed layout entry {entry!r}") from None
+            # Fragment.__init__ does not append; preserve the Message
+            # invariant that fragments[i].index == i.
+            message.fragments.append(Fragment(message, i, size, PackMode.CHEAPER, express))
+        self._mirrors[(src, sender_mid)] = message
+        self._origins[message.message_id] = (src, sender_mid)
+        return message
+
+    def origin_of(self, message: Message) -> tuple[str, int] | None:
+        """(src node, sender message id) of a mirror, or None if local."""
+        return self._origins.get(message.message_id)
+
+    def forget(self, message: Message) -> None:
+        """Drop bookkeeping for a completed mirror message."""
+        origin = self._origins.pop(message.message_id, None)
+        if origin is not None:
+            self._mirrors.pop(origin, None)
+
+    @property
+    def open_mirrors(self) -> int:
+        """Mirror messages created but not yet forgotten."""
+        return len(self._mirrors)

@@ -1,22 +1,51 @@
-"""Wire-level packet representation.
+"""Wire-level packet representation and byte codec.
 
 A :class:`WirePacket` is what one NIC request puts on the wire: one or
 more :class:`WireSegment` payload slices (several when the optimizer
 aggregated packets or split a large message), plus protocol framing.
 The network layer treats segment payloads as opaque — reassembly
 semantics belong to the messaging layer above (:mod:`repro.madeleine`).
+
+The module also defines the *byte-level* encoding used when a packet
+actually crosses a socket (the live transport plane,
+:mod:`repro.live.transport`): :func:`encode_frame` /
+:func:`decode_frame` serialize one packet's framing — magic, version,
+CRC-32 checksum, addressing, the ``meta`` control dict, and one
+``(descriptor, offset, length, payload bytes)`` record per segment.
+Segment payloads are JSON descriptors plus raw bytes rather than the
+in-process :class:`~repro.madeleine.message.Fragment` objects the
+simulator shares by reference; the live plane maps between the two.
+Decoding is hardened: truncated, corrupted, or garbage input raises a
+typed :class:`~repro.util.errors.WireError`, never a bare
+``struct.error``/``IndexError``.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
-from repro.util.errors import ProtocolError
+from repro.util.errors import ProtocolError, WireError
 
-__all__ = ["PacketKind", "WireSegment", "WirePacket", "HEADER_BYTES_PER_SEGMENT", "PACKET_HEADER_BYTES"]
+__all__ = [
+    "PacketKind",
+    "WireSegment",
+    "WirePacket",
+    "HEADER_BYTES_PER_SEGMENT",
+    "PACKET_HEADER_BYTES",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "DecodedSegment",
+    "DecodedFrame",
+    "encode_frame",
+    "encode_packet",
+    "decode_frame",
+]
 
 #: Framing bytes per packet (channel id, kind, segment count).
 PACKET_HEADER_BYTES = 16
@@ -110,3 +139,195 @@ class WirePacket:
             f"WirePacket(#{self.packet_id} {self.kind.value} {self.src}->{self.dst} "
             f"ch={self.channel_id} segs={len(self.segments)} bytes={self.payload_bytes})"
         )
+
+
+# --------------------------------------------------------------------------
+# Byte codec
+# --------------------------------------------------------------------------
+
+#: First four bytes of every encoded frame.
+WIRE_MAGIC = b"RWIR"
+#: Current frame format version.
+WIRE_VERSION = 1
+
+# magic(4) version(1) kind(1) flags(1) reserved(1) crc32(4) body_len(u32)
+_PREFIX = struct.Struct("!4sBBBBII")
+# channel_id(i32) src_len(u16) dst_len(u16) meta_len(u32) seg_count(u16)
+_BODY_HEAD = struct.Struct("!iHHIH")
+# desc_len(u32) offset(u64) length(u64)
+_SEG_HEAD = struct.Struct("!IQQ")
+
+_KIND_CODES = {kind: code for code, kind in enumerate(PacketKind)}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedSegment:
+    """One segment as it appears on the wire.
+
+    ``descriptor`` is the sender's JSON routing record (flow id, fragment
+    index, message layout …) — opaque to the codec; ``data`` is the raw
+    payload slice covering ``[offset, offset + length)`` of the fragment.
+    """
+
+    descriptor: dict[str, Any]
+    offset: int
+    length: int
+    data: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class DecodedFrame:
+    """A fully validated frame parsed from bytes."""
+
+    kind: PacketKind
+    src: str
+    dst: str
+    channel_id: int
+    meta: dict[str, Any]
+    segments: tuple[DecodedSegment, ...]
+
+
+def encode_frame(
+    kind: PacketKind,
+    src: str,
+    dst: str,
+    channel_id: int,
+    meta: dict[str, Any],
+    segments: Sequence[tuple[dict[str, Any], int, int, bytes]] = (),
+) -> bytes:
+    """Serialize one packet's framing and payload into wire bytes.
+
+    Each segment is ``(descriptor, offset, length, payload_bytes)``; the
+    descriptor is any JSON-serializable dict the receiver needs to route
+    the slice.  The returned buffer is self-delimiting (a length field in
+    the prefix) and carries a CRC-32 over everything after the prefix, so
+    :func:`decode_frame` can detect truncation and corruption.
+    """
+    src_b = src.encode("utf-8")
+    dst_b = dst.encode("utf-8")
+    meta_b = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    parts = [_BODY_HEAD.pack(channel_id, len(src_b), len(dst_b), len(meta_b), len(segments))]
+    parts.append(src_b)
+    parts.append(dst_b)
+    parts.append(meta_b)
+    for descriptor, offset, length, data in segments:
+        if length != len(data):
+            raise WireError(
+                f"segment length field {length} disagrees with payload of {len(data)} bytes"
+            )
+        desc_b = json.dumps(descriptor, separators=(",", ":")).encode("utf-8")
+        parts.append(_SEG_HEAD.pack(len(desc_b), offset, length))
+        parts.append(desc_b)
+        parts.append(data)
+    body = b"".join(parts)
+    prefix = _PREFIX.pack(
+        WIRE_MAGIC, WIRE_VERSION, _KIND_CODES[kind], 0, 0, zlib.crc32(body), len(body)
+    )
+    return prefix + body
+
+
+def encode_packet(packet: WirePacket, payloads: Sequence[tuple[dict[str, Any], bytes]]) -> bytes:
+    """Encode a :class:`WirePacket` given per-segment descriptors + bytes.
+
+    ``payloads`` pairs up positionally with ``packet.segments``; the
+    offset/length framing comes from the packet's own segments.
+    """
+    if len(payloads) != len(packet.segments):
+        raise WireError(
+            f"packet has {len(packet.segments)} segments but {len(payloads)} payloads given"
+        )
+    return encode_frame(
+        packet.kind,
+        packet.src,
+        packet.dst,
+        packet.channel_id,
+        packet.meta,
+        [
+            (descriptor, seg.offset, seg.length, data)
+            for seg, (descriptor, data) in zip(packet.segments, payloads)
+        ],
+    )
+
+
+class _Cursor:
+    """Bounds-checked reader over a frame body — every overrun is a WireError."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int, what: str) -> bytes:
+        end = self._pos + n
+        if end > len(self._data):
+            raise WireError(
+                f"truncated frame: {what} needs {n} bytes, {len(self._data) - self._pos} left"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def unpack(self, fmt: struct.Struct, what: str) -> tuple[Any, ...]:
+        return fmt.unpack(self.take(fmt.size, what))
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _decode_json(raw: bytes, what: str) -> dict[str, Any]:
+    try:
+        value = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed {what} JSON: {exc}") from exc
+    if not isinstance(value, dict):
+        raise WireError(f"{what} must decode to an object, got {type(value).__name__}")
+    return value
+
+
+def decode_frame(data: bytes) -> DecodedFrame:
+    """Parse and validate one encoded frame.
+
+    Raises :class:`~repro.util.errors.WireError` on any malformed input:
+    short prefix, bad magic, unsupported version, unknown packet kind,
+    truncated body, CRC mismatch, or garbage JSON.  Trailing bytes after
+    the declared body length are also rejected — the caller is expected
+    to hand exactly one frame (stream splitting happens a layer above).
+    """
+    if len(data) < _PREFIX.size:
+        raise WireError(f"frame shorter than {_PREFIX.size}-byte prefix ({len(data)} bytes)")
+    try:
+        magic, version, kind_code, _flags, _reserved, crc, body_len = _PREFIX.unpack(
+            data[: _PREFIX.size]
+        )
+    except struct.error as exc:  # pragma: no cover - length guarded above
+        raise WireError(f"unreadable frame prefix: {exc}") from exc
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad magic {magic!r} (expected {WIRE_MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version} (expected {WIRE_VERSION})")
+    kind = _CODE_KINDS.get(kind_code)
+    if kind is None:
+        raise WireError(f"unknown packet kind code {kind_code}")
+    body = data[_PREFIX.size :]
+    if len(body) != body_len:
+        raise WireError(f"frame body is {len(body)} bytes, prefix declared {body_len}")
+    if zlib.crc32(body) != crc:
+        raise WireError(f"checksum mismatch (crc32 {zlib.crc32(body):#010x} != {crc:#010x})")
+
+    cur = _Cursor(body)
+    channel_id, src_len, dst_len, meta_len, seg_count = cur.unpack(_BODY_HEAD, "body header")
+    src = cur.take(src_len, "src").decode("utf-8", errors="replace")
+    dst = cur.take(dst_len, "dst").decode("utf-8", errors="replace")
+    meta = _decode_json(cur.take(meta_len, "meta"), "meta")
+    segments = []
+    for i in range(seg_count):
+        desc_len, offset, length = cur.unpack(_SEG_HEAD, f"segment {i} header")
+        descriptor = _decode_json(cur.take(desc_len, f"segment {i} descriptor"), "descriptor")
+        payload = cur.take(length, f"segment {i} payload")
+        segments.append(DecodedSegment(descriptor, offset, length, payload))
+    if not cur.exhausted:
+        raise WireError("trailing bytes after last segment")
+    return DecodedFrame(kind, src, dst, channel_id, meta, tuple(segments))

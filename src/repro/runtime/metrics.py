@@ -58,6 +58,22 @@ class LatencySummary:
     minimum: float
     maximum: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (NaNs become None for strict parsers)."""
+
+        def _num(x: float):
+            return None if isinstance(x, float) and math.isnan(x) else x
+
+        return {
+            "count": self.count,
+            "mean": _num(self.mean),
+            "p50": _num(self.p50),
+            "p90": _num(self.p90),
+            "p99": _num(self.p99),
+            "min": _num(self.minimum),
+            "max": _num(self.maximum),
+        }
+
     @classmethod
     def of(cls, latencies: Iterable[float]) -> "LatencySummary":
         arr = np.asarray(list(latencies), dtype=float)
@@ -101,6 +117,34 @@ class SessionReport:
     packets_duplicated: int = 0
     failovers: int = 0  #: engine rail-down re-routes + transport NIC switches
     rdv_timeouts: int = 0
+
+    def to_dict(self) -> dict:
+        """Full JSON-ready view of the report (``repro run --json``)."""
+        return {
+            "duration": self.duration,
+            "messages": self.messages,
+            "total_bytes": self.total_bytes,
+            "latency": self.latency.to_dict(),
+            "latency_by_class": {
+                tc.value: summary.to_dict()
+                for tc, summary in self.latency_by_class.items()
+            },
+            "throughput": self.throughput,
+            "message_rate": self.message_rate,
+            "network_transactions": self.network_transactions,
+            "data_packets": self.data_packets,
+            "control_packets": self.control_packets,
+            "aggregation_ratio": self.aggregation_ratio,
+            "nic_utilization": self.nic_utilization,
+            "host_time": self.host_time,
+            "rdv_count": self.rdv_count,
+            "retransmits": self.retransmits,
+            "packets_dropped": self.packets_dropped,
+            "packets_corrupted": self.packets_corrupted,
+            "packets_duplicated": self.packets_duplicated,
+            "failovers": self.failovers,
+            "rdv_timeouts": self.rdv_timeouts,
+        }
 
     def row(self) -> dict[str, float]:
         """Flat numeric view for table printing."""

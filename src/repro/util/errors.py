@@ -17,6 +17,7 @@ __all__ = [
     "CapabilityError",
     "ProtocolError",
     "TransportError",
+    "WireError",
     "FaultInjectionError",
 ]
 
@@ -81,6 +82,17 @@ class TransportError(ReproError):
     Examples: a packet exhausted its bounded retransmit budget without
     being acknowledged, or a retransmission was requested for a packet
     the transport no longer tracks.
+    """
+
+
+class WireError(ProtocolError):
+    """Bytes on the wire could not be decoded into a packet.
+
+    Raised by the :mod:`repro.network.wire` byte codec (and the live
+    transport's stream decoder) on truncated input, bad magic, checksum
+    mismatch, or malformed framing — never an ``IndexError`` or
+    ``struct.error`` leaking from the parser.  A subclass of
+    :class:`ProtocolError` so existing protocol-level handlers catch it.
     """
 
 

@@ -1,0 +1,82 @@
+"""Registry-focused tests: error text, profile sanity, gather limits.
+
+Complements ``test_driver.py`` (dispatch correctness) and
+``test_capabilities.py`` (validation ranges) with the contract details
+the live plane leans on: the exact unknown-technology diagnostic, and
+that every registered driver ships a self-consistent capability profile.
+"""
+
+import pytest
+
+from repro.drivers import DRIVER_TYPES, make_driver
+from repro.drivers.capabilities import DriverCapabilities
+from repro.network.model import LinkModel
+from repro.network.nic import NIC
+from repro.network.technologies import TECHNOLOGIES
+from repro.sim import Simulator
+from repro.util.errors import ConfigurationError
+
+
+def _odd_link(name: str) -> LinkModel:
+    return LinkModel(
+        name=name,
+        pio_latency=1e-6,
+        pio_bandwidth=1e8,
+        dma_latency=1e-6,
+        dma_bandwidth=1e8,
+        wire_latency=0,
+        copy_bandwidth=1e9,
+        gather_entry_cost=0,
+        rx_overhead=0,
+    )
+
+
+class TestUnknownDriver:
+    def test_error_names_the_technology(self):
+        sim = Simulator()
+        nic = NIC(sim, "x", "n0", _odd_link("quantum"), lambda p, o: None)
+        with pytest.raises(ConfigurationError, match="'quantum'"):
+            make_driver(nic)
+
+    def test_error_is_configuration_not_keyerror(self):
+        sim = Simulator()
+        nic = NIC(sim, "x", "n0", _odd_link("nope"), lambda p, o: None)
+        try:
+            make_driver(nic)
+        except ConfigurationError as exc:
+            assert "no driver registered" in str(exc)
+        else:  # pragma: no cover - the call must raise
+            pytest.fail("make_driver accepted an unregistered technology")
+
+
+class TestRegisteredProfiles:
+    """Every shipped driver's capability profile is internally consistent."""
+
+    @pytest.mark.parametrize("tech", sorted(DRIVER_TYPES))
+    def test_profile_matches_technology(self, tech):
+        sim = Simulator()
+        nic = NIC(sim, "x", "n0", TECHNOLOGIES[tech](), lambda p, o: None)
+        driver = make_driver(nic)
+        assert driver.caps.technology == tech
+
+    @pytest.mark.parametrize("tech", sorted(DRIVER_TYPES))
+    def test_profile_has_usable_aggregation(self, tech):
+        sim = Simulator()
+        nic = NIC(sim, "x", "n0", TECHNOLOGIES[tech](), lambda p, o: None)
+        caps = make_driver(nic).caps
+        assert caps.aggregation_limit >= 1
+        assert caps.max_aggregate_size >= 1
+        if caps.supports_gather:
+            assert caps.aggregation_limit == caps.max_gather_entries >= 2
+
+
+class TestAggregationLimit:
+    def test_gather_disabled_reports_one(self):
+        caps = DriverCapabilities(
+            technology="t", supports_gather=False, max_gather_entries=64
+        )
+        assert caps.aggregation_limit == 1
+
+    def test_gather_enabled_reports_entries(self):
+        caps = DriverCapabilities(technology="t", max_gather_entries=4)
+        assert caps.aggregation_limit == 4
