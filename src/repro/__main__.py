@@ -6,7 +6,9 @@ Usage::
     python -m repro run scenario.json    # execute a declarative scenario
     python -m repro run scenario.json --trace-out trace.json \
         --metrics-out metrics.prom --sample-interval 1e-5
+    python -m repro live run scenario.json --serve :9464 --trace-out merged.json
     python -m repro obs analyze trace.json   # timelines + decision summary
+    python -m repro obs diff base.json cand.json --check   # regression gate
     python -m repro bench [ids] [--quick]  # alias for python -m repro.bench
 """
 
@@ -157,23 +159,28 @@ def _cmd_live_run(args) -> int:
     from repro.runtime.scenario import load_scenario_file
 
     scenario = load_scenario_file(args.scenario)
+    observability = dict(scenario.get("observability", {}))
+    if args.sample_interval is not None:
+        observability["sample_interval"] = args.sample_interval
+    if args.trace_out:
+        observability["trace"] = True
     result = run_live_scenario(
         scenario,
         transport=args.transport,
         time_scale=args.time_scale,
         trace=bool(args.trace_out),
         timeout=args.timeout,
+        observability=observability or None,
+        serve=args.serve,
     )
     report = result.report
     if args.trace_out:
         from repro.obs.export import write_trace
-        from repro.util.tracing import TraceEvent
 
-        events = [
-            TraceEvent(e["time"], e["source"], e["kind"], e.get("detail", {}))
-            for e in result.trace_events
-        ]
-        fmt = write_trace(args.trace_out, events)
+        fmt = write_trace(args.trace_out, result.aligned_events)
+    if args.metrics_out and result.cluster_registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            f.write(result.cluster_registry.to_prometheus())
     name = scenario.get("name", args.scenario)
     if args.json:
         payload = {
@@ -183,6 +190,9 @@ def _cmd_live_run(args) -> int:
             "bytes_verified": result.bytes_verified,
             "corrupt_slices": result.corrupt_slices,
             "rtt_samples": len(result.rtts),
+            "clock_offsets": result.offsets,
+            "crossings_matched": result.crossings_matched,
+            "crossings_clamped": result.crossings_clamped,
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -200,8 +210,21 @@ def _cmd_live_run(args) -> int:
     if result.rtts:
         mean_rtt = sum(result.rtts) / len(result.rtts)
         print(f"mean ping-pong RTT   : {mean_rtt * 1e6:.2f} us (n={len(result.rtts)})")
+    if result.offsets:
+        worst = max(abs(v) for v in result.offsets.values())
+        print(
+            f"clock offsets        : {len(result.offsets)} peers aligned "
+            f"(max |offset| {worst * 1e6:.2f} us)"
+        )
+    if result.crossings_matched:
+        print(
+            f"wire crossings       : {result.crossings_matched} correlated "
+            f"({result.crossings_clamped} clamped)"
+        )
     if args.trace_out:
         print(f"trace written        : {args.trace_out} ({fmt})")
+    if args.metrics_out and result.cluster_registry is not None:
+        print(f"metrics written      : {args.metrics_out} (prometheus)")
     return 0
 
 
@@ -209,6 +232,12 @@ def _cmd_obs_analyze(args) -> int:
     from repro.obs.analyze import main as analyze_main
 
     return analyze_main(args)
+
+
+def _cmd_obs_diff(args) -> int:
+    from repro.obs.diff import main as diff_main
+
+    return diff_main(args)
 
 
 def _cmd_bench(args) -> int:
@@ -298,7 +327,29 @@ def main(argv: list[str] | None = None) -> int:
     live_run.add_argument(
         "--trace-out",
         metavar="PATH",
-        help="write the merged live trace (.jsonl/.ndjson or Chrome JSON)",
+        help=(
+            "write the cross-peer merged trace, clock-aligned with flow "
+            "events per wire crossing (.jsonl/.ndjson or Chrome JSON)"
+        ),
+    )
+    live_run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged cluster registry as Prometheus text",
+    )
+    live_run.add_argument(
+        "--sample-interval",
+        type=float,
+        metavar="SECONDS",
+        help="periodic per-peer time-series sample interval (virtual seconds)",
+    )
+    live_run.add_argument(
+        "--serve",
+        metavar="[HOST:]PORT",
+        help=(
+            "expose live cluster /metrics (Prometheus) and /status (JSON) "
+            "over HTTP while the run is in flight, e.g. --serve :9464"
+        ),
     )
     live_run.add_argument(
         "--json", action="store_true", help="emit the report as JSON on stdout"
@@ -318,6 +369,32 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=5, help="channels to list in the miss summary"
     )
     analyze_parser.set_defaults(func=_cmd_obs_analyze)
+
+    diff_parser = obs_sub.add_parser(
+        "diff",
+        help="compare two traces or BENCH_*.json files metric-by-metric",
+    )
+    diff_parser.add_argument("baseline", help="baseline trace or bench JSON")
+    diff_parser.add_argument("candidate", help="candidate trace or bench JSON")
+    diff_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative change treated as a regression (default 0.2 = 20%%)",
+    )
+    diff_parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="metric keys to exclude (fnmatch glob, repeatable)",
+    )
+    diff_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when any non-ignored metric regressed",
+    )
+    diff_parser.set_defaults(func=_cmd_obs_diff)
 
     bench_parser = subparsers.add_parser("bench", help="run experiments")
     bench_parser.add_argument("experiments", nargs="*", metavar="ID")

@@ -120,10 +120,26 @@ def _aggregation_metrics(result: LiveRunResult) -> dict[str, float]:
     }
 
 
+def _traced_metrics(result: LiveRunResult) -> dict[str, float]:
+    """Cross-peer correlation health from a traced ping-pong run.
+
+    RTT runs stay untraced so the latency numbers keep their meaning;
+    this separate (short) run gates the distributed-observability
+    machinery itself: every delivered message should yield a correlated
+    wire crossing, and clock alignment should never have to clamp one.
+    """
+    return {
+        "traced/messages": float(result.report.messages),
+        "traced/flow_crossings": float(result.crossings_matched),
+        "traced/crossings_clamped": float(result.crossings_clamped),
+        "traced/peers_aligned": float(len(result.offsets)),
+    }
+
+
 def run_suite(
     *, quick: bool = False, transport: str = "uds", timeout: float = RUN_TIMEOUT
 ) -> dict[str, float]:
-    """Run both live scenarios; returns a flat metric mapping."""
+    """Run the live scenarios; returns a flat metric mapping."""
     pp_count = 10 if quick else 50
     per_flow = 10 if quick else 40
     metrics: dict[str, float] = {}
@@ -135,6 +151,10 @@ def run_suite(
         aggregation_scenario(per_flow), transport=transport, timeout=timeout
     )
     metrics.update(_aggregation_metrics(result))
+    result = run_live_scenario(
+        pingpong_scenario(5), transport=transport, timeout=timeout, trace=True
+    )
+    metrics.update(_traced_metrics(result))
     return metrics
 
 
@@ -154,6 +174,17 @@ def check_structure(metrics: dict[str, float]) -> list[str]:
         failures.append(
             f"aggregation ratio {metrics.get('aggregation/ratio', 0.0):.2f} "
             "is not > 1: the engine never coalesced backlog"
+        )
+    if metrics.get("traced/flow_crossings", 0.0) < metrics.get("traced/messages", 0.0):
+        failures.append(
+            f"traced run correlated {metrics.get('traced/flow_crossings', 0.0):.0f} "
+            f"wire crossings for {metrics.get('traced/messages', 0.0):.0f} "
+            "delivered messages: correlation ids were lost in flight"
+        )
+    if metrics.get("traced/crossings_clamped", 0.0) != 0:
+        failures.append(
+            f"{metrics.get('traced/crossings_clamped', 0.0):.0f} crossings "
+            "needed send>recv clamping: clock alignment failed"
         )
     return failures
 

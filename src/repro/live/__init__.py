@@ -13,20 +13,28 @@ discrete-event substrate for wall-clock asyncio:
 * :mod:`repro.live.nic` — a NIC whose idle transition is the socket
   write buffer draining;
 * :mod:`repro.live.peer` — one node's stack in one OS process;
+* :mod:`repro.live.observe` — the full observability plane inside one
+  peer (wall-clock sampler, trace spool streamed to the coordinator);
 * :mod:`repro.live.cluster` — the coordinator that spawns a peer mesh,
-  runs a scenario file live, and merges a ``SessionReport``.
+  runs a scenario file live, merges a ``SessionReport``, and assembles
+  the cluster-wide observability view (aligned trace, merged metrics,
+  optional live ``/metrics`` endpoint).
 """
 
 from repro.live.cluster import LiveRunResult, run_live_scenario
 from repro.live.loop import LiveClock, LiveEvent
 from repro.live.nic import LiveNIC
+from repro.live.observe import LiveSampler, PeerClusterAdapter, SpoolSink
 from repro.live.transport import MirrorReceiver, StreamDecoder
 
 __all__ = [
     "LiveClock",
     "LiveEvent",
     "LiveNIC",
+    "LiveSampler",
     "MirrorReceiver",
+    "PeerClusterAdapter",
+    "SpoolSink",
     "StreamDecoder",
     "LiveRunResult",
     "run_live_scenario",

@@ -14,12 +14,22 @@ Control flow (JSON lines over each peer's stdin/stdout)::
     START   -> STARTED    apps installed; traffic begins
     STATUS  (poll)        until: all quiet, Σsubmitted == Σdone_received
                           == Σdone_sent, stable across two polls
+    FLUSH   (poll)        with observability on: drain each peer's trace
+                          spool + registry snapshot every poll
     STOP    -> REPORT     per-peer records/counters; peers exit
 
 The merged report is assembled from receiver-side message records
 (each delivered message is recorded exactly once cluster-wide, at its
 destination peer); submit/complete timestamps are comparable across
 peers because every clock shares the coordinator's epoch.
+
+Beyond the report, the coordinator is the *merge point* of the
+distributed observability plane (docs/ARCHITECTURE.md §13): it brackets
+every control round-trip to estimate per-peer clock offsets, aligns and
+merges the streamed trace fragments into one multi-process trace
+(:mod:`repro.obs.merge`), folds the per-peer metric registries into a
+cluster registry with a ``peer`` label, and — with ``serve`` — exposes
+``/metrics`` and ``/status`` over HTTP while the run is in flight.
 """
 
 from __future__ import annotations
@@ -30,13 +40,25 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.network.virtual import TrafficClass
+from repro.obs.merge import (
+    MergedTrace,
+    OffsetSample,
+    align_events,
+    estimate_offsets,
+    extract_crossings,
+    merge_registries,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.serve import ObsHTTPServer, parse_serve_address
 from repro.runtime.metrics import LatencySummary, MessageRecord, SessionReport
 from repro.util.errors import ConfigurationError, TransportError
+from repro.util.tracing import TraceEvent, event_to_dict
 
 __all__ = ["LiveRunResult", "run_live_scenario"]
 
@@ -50,8 +72,19 @@ class LiveRunResult:
     report: SessionReport
     records: list[MessageRecord]
     peer_reports: list[dict[str, Any]]
+    #: Aligned, merged trace events as JSON-able dicts (time-sorted).
     trace_events: list[dict[str, Any]] = field(default_factory=list)
     rtts: list[float] = field(default_factory=list)
+    #: Same events as :class:`~repro.util.tracing.TraceEvent` objects.
+    aligned_events: list[TraceEvent] = field(default_factory=list)
+    #: Per-peer clock offsets applied during the merge (node -> seconds).
+    offsets: dict[str, float] = field(default_factory=dict)
+    #: Correlated wire crossings found / clamped during alignment.
+    crossings_matched: int = 0
+    crossings_clamped: int = 0
+    #: Cluster-level registry (every peer's metrics, ``peer``-labelled);
+    #: None when the run carried no observability.
+    cluster_registry: MetricsRegistry | None = None
 
     @property
     def bytes_verified(self) -> int:
@@ -61,6 +94,42 @@ class LiveRunResult:
     @property
     def corrupt_slices(self) -> int:
         return sum(p["transport"]["corrupt_slices"] for p in self.peer_reports)
+
+
+class _ObsState:
+    """Thread-safe snapshot of the in-flight run the HTTP server reads.
+
+    The coordinator's poll loop owns the write side; the
+    :class:`~repro.obs.serve.ObsHTTPServer` thread calls
+    :meth:`metrics_text`/:meth:`status` whenever a client asks.
+    """
+
+    def __init__(self, scenario_name: str) -> None:
+        self._lock = threading.Lock()
+        self._scenario = scenario_name
+        self._started = time.time()
+        self._metrics_by_peer: dict[str, Mapping[str, Any]] = {}
+        self._status: dict[str, Any] = {"phase": "starting"}
+
+    def update_metrics(self, node: str, snapshot: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._metrics_by_peer[node] = snapshot
+
+    def update_status(self, **fields: Any) -> None:
+        with self._lock:
+            self._status.update(fields)
+
+    def metrics_text(self) -> str:
+        with self._lock:
+            per_peer = dict(self._metrics_by_peer)
+        return merge_registries(per_peer).to_prometheus()
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            out = dict(self._status)
+        out["scenario"] = self._scenario
+        out["uptime_s"] = time.time() - self._started
+        return out
 
 
 class _Peer:
@@ -189,6 +258,81 @@ def _merge_report(peer_reports: list[dict[str, Any]]) -> tuple[SessionReport, li
     return report, records
 
 
+def _event_from_wire(payload: Mapping[str, Any]) -> TraceEvent:
+    """One streamed trace event back into its in-memory shape."""
+    return TraceEvent(
+        time=float(payload["time"]),
+        source=str(payload["source"]),
+        kind=str(payload["kind"]),
+        detail=dict(payload.get("detail") or {}),
+    )
+
+
+class _ObsCollector:
+    """Coordinator-side accumulator for everything the peers stream.
+
+    Owns the offset samples (from bracketed control round-trips), the
+    per-peer event streams (FLUSH drains + the REPORT tail) and the
+    latest per-peer registry snapshot; :meth:`merge` turns them into the
+    aligned cluster view after the run.
+    """
+
+    def __init__(self, epoch: float, time_scale: float) -> None:
+        self._epoch = epoch
+        self._scale = time_scale
+        self.samples: list[OffsetSample] = []
+        self.events_by_peer: dict[str, list[TraceEvent]] = {}
+        self.metrics_by_peer: dict[str, Mapping[str, Any]] = {}
+        self.nodes: dict[int, str] = {}
+
+    def timed_request(self, peer: _Peer, msg: dict[str, Any]) -> dict[str, Any]:
+        """A control round-trip that doubles as a clock-offset probe.
+
+        Any reply carrying ``now`` (STATUS, FLUSH, REPORT) yields one
+        :class:`~repro.obs.merge.OffsetSample`; coordinator wall time is
+        mapped onto the shared virtual timeline the same way the peers'
+        clocks are (seconds past the epoch, divided by the time scale).
+        """
+        t0 = time.time()
+        reply = peer.request(msg)
+        t1 = time.time()
+        now = reply.get("now")
+        node = self.nodes.get(peer.rank)
+        if now is not None and node is not None:
+            self.samples.append(
+                OffsetSample(
+                    peer=node,
+                    t0=(t0 - self._epoch) / self._scale,
+                    t1=(t1 - self._epoch) / self._scale,
+                    peer_now=float(now),
+                )
+            )
+        return reply
+
+    def ingest_flush(self, reply: Mapping[str, Any]) -> None:
+        node = str(reply["node"])
+        if reply.get("events"):
+            bucket = self.events_by_peer.setdefault(node, [])
+            bucket.extend(_event_from_wire(e) for e in reply["events"])
+        if reply.get("metrics") is not None:
+            self.metrics_by_peer[node] = reply["metrics"]
+
+    def ingest_report(self, payload: Mapping[str, Any]) -> None:
+        node = str(payload["node"])
+        if payload.get("trace"):
+            bucket = self.events_by_peer.setdefault(node, [])
+            bucket.extend(_event_from_wire(e) for e in payload["trace"])
+        if payload.get("metrics") is not None:
+            self.metrics_by_peer[node] = payload["metrics"]
+
+    def merge(self) -> MergedTrace:
+        crossings = extract_crossings(self.events_by_peer)
+        offsets = estimate_offsets(
+            self.samples, crossings, peers=self.events_by_peer.keys()
+        )
+        return align_events(self.events_by_peer, offsets)
+
+
 def run_live_scenario(
     scenario: Mapping[str, Any],
     *,
@@ -196,6 +340,8 @@ def run_live_scenario(
     time_scale: float = 1.0,
     trace: bool = False,
     timeout: float = 60.0,
+    observability: Mapping[str, Any] | None = None,
+    serve: str | None = None,
 ) -> LiveRunResult:
     """Execute a scenario over real sockets; returns the merged result.
 
@@ -205,6 +351,14 @@ def run_live_scenario(
     killed and :class:`~repro.util.errors.TransportError` is raised with
     peer stderr excerpts.  The scenario's ``"run"`` block (virtual-time
     horizon) is ignored: a live run ends when traffic drains.
+
+    ``observability`` is an :class:`~repro.obs.plane.ObservabilityConfig`
+    spec shipped to every peer (``trace=True`` is shorthand for
+    ``{"trace": True}``); with tracing on, each peer's spool is drained
+    every poll and the result carries one aligned merged trace.
+    ``serve`` (``"PORT"``/``":PORT"``/``"HOST:PORT"``) additionally
+    exposes live cluster ``/metrics`` (Prometheus text) and ``/status``
+    (JSON) for the duration of the run.
     """
     if transport not in ("uds", "tcp"):
         raise ConfigurationError(f"live transport must be 'uds' or 'tcp', got {transport!r}")
@@ -217,13 +371,39 @@ def run_live_scenario(
     if n_nodes < 2:
         raise ConfigurationError(f"a live run needs >= 2 nodes, got {n_nodes}")
 
+    obs_spec = dict(observability or {})
+    if trace:
+        obs_spec.setdefault("trace", True)
+    trace_on = bool(obs_spec.get("trace"))
+    # Serving live metrics needs registry snapshots flowing even when
+    # nobody asked for trace events; flushing is cheap either way.
+    flushing = trace_on or serve is not None
+
+    serve_host: str | None = None
+    serve_port = 0
+    if serve is not None:
+        serve_host, serve_port = parse_serve_address(serve)
+
     # Keep UDS paths short: sun_path is limited to ~104 bytes.
     workdir = tempfile.mkdtemp(prefix="rlive-", dir="/tmp")
     deadline = time.time() + timeout
     peers: list[_Peer] = []
+    server: ObsHTTPServer | None = None
+    obs_state = _ObsState(str(scenario.get("name", "live")))
     try:
         peers = [_Peer(rank, workdir, deadline) for rank in range(n_nodes)]
         epoch = time.time()
+        obs = _ObsCollector(epoch, time_scale)
+        if serve_host is not None:
+            server = ObsHTTPServer(
+                obs_state.metrics_text, obs_state.status,
+                host=serve_host, port=serve_port,
+            )
+            server.start()
+            print(
+                f"[repro.live] serving /metrics and /status on {server.address}",
+                file=sys.stderr,
+            )
         endpoints: dict[int, dict[str, Any]] = {}
         for peer in peers:
             reply = peer.request(
@@ -233,7 +413,8 @@ def run_live_scenario(
                     "n_nodes": n_nodes,
                     "epoch": epoch,
                     "time_scale": time_scale,
-                    "trace": trace,
+                    "trace": trace_on,
+                    "observability": obs_spec,
                     "transport": transport,
                     "workdir": workdir,
                     "timeout": timeout,
@@ -241,6 +422,7 @@ def run_live_scenario(
                 }
             )
             endpoints[peer.rank] = reply["endpoint"]
+            obs.nodes[peer.rank] = str(reply.get("node", f"n{peer.rank}"))
         # Higher ranks dial lower ranks, so confirm in descending order:
         # rank 0 only has to *accept*, which needs no round-trip first.
         mesh_msg = {"type": "mesh", "endpoints": {str(r): e for r, e in endpoints.items()}}
@@ -260,6 +442,7 @@ def run_live_scenario(
                 raise TransportError(f"peer {peer.rank} mesh failed: {reply}")
         for peer in peers:
             peer.request({"type": "start"})
+        obs_state.update_status(phase="running", peers=len(peers))
 
         previous: tuple | None = None
         stable = 0
@@ -272,17 +455,27 @@ def run_live_scenario(
                     f"live run exceeded its {timeout}s wall-clock budget "
                     f"without quiescing ({tails})"
                 )
-            statuses = [peer.request({"type": "status"}) for peer in peers]
+            statuses = [obs.timed_request(peer, {"type": "status"}) for peer in peers]
             for peer, status in zip(peers, statuses):
                 if status.get("fatal"):
                     raise TransportError(
                         f"peer {peer.rank} hit a transport fault:\n{status['fatal']}"
                     )
+            if flushing:
+                for peer in peers:
+                    obs.ingest_flush(obs.timed_request(peer, {"type": "flush"}))
+                if server is not None:
+                    for node, snapshot in obs.metrics_by_peer.items():
+                        obs_state.update_metrics(node, snapshot)
             submitted = sum(s["submitted"] for s in statuses)
             done_rx = sum(s["done_received"] for s in statuses)
             done_tx = sum(s["done_sent"] for s in statuses)
             snapshot = (submitted, done_rx, done_tx)
             quiet = all(s["quiet"] for s in statuses)
+            obs_state.update_status(
+                submitted=submitted, done_received=done_rx, done_sent=done_tx,
+                quiet=quiet,
+            )
             if quiet and submitted == done_rx == done_tx and snapshot == previous:
                 stable += 1
                 if stable >= 2:
@@ -292,7 +485,8 @@ def run_live_scenario(
             previous = snapshot
             time.sleep(_POLL_INTERVAL)
 
-        peer_reports = [peer.request({"type": "stop"}) for peer in peers]
+        obs_state.update_status(phase="stopping")
+        peer_reports = [obs.timed_request(peer, {"type": "stop"}) for peer in peers]
         for peer in peers:
             try:
                 peer.proc.wait(timeout=5)
@@ -301,6 +495,9 @@ def run_live_scenario(
     finally:
         for peer in peers:
             peer.kill()
+        if server is not None:
+            obs_state.update_status(phase="done")
+            server.stop()
         shutil.rmtree(workdir, ignore_errors=True)
 
     for payload in peer_reports:
@@ -308,9 +505,21 @@ def run_live_scenario(
             raise TransportError(
                 f"peer {payload['node']} hit a transport fault:\n{payload['fatal']}"
             )
+        if payload.get("trace_dropped"):
+            print(
+                f"[repro.live] warning: peer {payload['node']} dropped "
+                f"{payload['trace_dropped']} trace events "
+                f"(spool overflow; seen={payload.get('trace_seen', '?')})",
+                file=sys.stderr,
+            )
     report, records = _merge_report(peer_reports)
-    events = [e for p in peer_reports for e in p.get("trace", [])]
-    events.sort(key=lambda e: e.get("time", 0.0))
+    for payload in peer_reports:
+        obs.ingest_report(payload)
+    merged = obs.merge()
+    events = [event_to_dict(e) for e in merged.events]
+    cluster_registry = (
+        merge_registries(obs.metrics_by_peer) if obs.metrics_by_peer else None
+    )
     rtts = [
         sample
         for p in peer_reports
@@ -323,4 +532,9 @@ def run_live_scenario(
         peer_reports=peer_reports,
         trace_events=events,
         rtts=rtts,
+        aligned_events=merged.events,
+        offsets=merged.offsets,
+        crossings_matched=merged.crossings_matched,
+        crossings_clamped=merged.crossings_clamped,
+        cluster_registry=cluster_registry,
     )

@@ -31,7 +31,13 @@ from typing import Callable
 
 from repro.network.model import LinkModel
 from repro.network.nic import NIC
-from repro.network.wire import WirePacket
+from repro.network.wire import (
+    META_CORR,
+    META_SENT_AT,
+    META_VIA,
+    WirePacket,
+    correlation_id,
+)
 from repro.util.errors import InternalError, SimulationError
 
 from repro.live.loop import LiveClock
@@ -107,6 +113,18 @@ class LiveNIC(NIC):
                 f"NIC {self.name!r} on node {self.node_name!r} asked to send a "
                 f"packet from {packet.src!r}"
             )
+        # Stamp the distributed-tracing keys into the wire meta before
+        # encoding, so the receiving peer can correlate its frame-decode
+        # record with this exact send (and this exact clock reading).
+        # Only when tracing: the keys ride the wire, and untraced runs
+        # must not pay their encode cost or byte overhead.
+        tracer = self._sim.tracer
+        corr = None
+        if tracer.enabled:
+            corr = correlation_id(self.node_name, packet.packet_id)
+            packet.meta[META_CORR] = corr
+            packet.meta[META_SENT_AT] = self._sim.now
+            packet.meta[META_VIA] = self.name
         data = encode_live_packet(packet)  # encode before flipping state:
         # a serialization error must leave the NIC idle and usable.
 
@@ -120,7 +138,6 @@ class LiveNIC(NIC):
         kind = packet.kind.value
         self.stats.kind_counts[kind] = self.stats.kind_counts.get(kind, 0) + 1
 
-        tracer = self._sim.tracer
         if tracer.enabled:
             tracer.emit(
                 self._sim.now,
@@ -132,6 +149,7 @@ class LiveNIC(NIC):
                 segments=packet.segment_count,
                 dst=packet.dst,
                 live_bytes=len(data),
+                corr=corr,
             )
         started = time.perf_counter()
         self._send(packet, data, lambda: self._drained(started))

@@ -1,0 +1,148 @@
+"""Live-peer observability: the full plane inside one peer process.
+
+A live peer used to carry an ad-hoc ``ListSink`` + ``MetricsCollector``
+pair; this module gives it the same :class:`~repro.obs.plane.ObservabilityPlane`
+a simulated cluster gets, adapted to the two ways a peer differs:
+
+* **There is no Cluster object.**  :class:`PeerClusterAdapter` presents
+  one peer's stack (clock, engine, node, reassembler) through the duck
+  type ``ObservabilityPlane.install`` and the sampler's snapshot code
+  already consume — ``sim``, ``engines``, ``fabric.nodes``,
+  ``transport``, ``reassemblers``.
+* **Time is wall-clock and quiescence is watched.**  The base
+  :class:`~repro.obs.sampler.ObservabilitySampler` keeps itself alive by
+  rescheduling on the simulator queue; on a :class:`~repro.live.loop.LiveClock`
+  that would hold ``pending_timers`` above zero forever and the peer
+  would never look quiet.  :class:`LiveSampler` therefore drives the
+  same ``sample_once`` core from raw ``loop.call_later`` timers, which
+  the quiescence predicate deliberately does not see.
+
+:class:`SpoolSink` is the streaming half: a bounded buffer of events
+since the last coordinator ``FLUSH``, drained into the control protocol
+every poll so no cap ever truncates the run's trace — the peer's ring
+buffer stays as the crash flight recorder.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.sampler import ObservabilitySampler
+from repro.util.errors import ConfigurationError
+from repro.util.tracing import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.loop import LiveClock
+
+__all__ = ["SpoolSink", "PeerClusterAdapter", "LiveSampler"]
+
+#: Events the spool holds between coordinator flushes.  At the
+#: coordinator's ~20 ms poll cadence this is far beyond any realistic
+#: emit rate; hitting it means the coordinator stopped draining, and the
+#: spool degrades to counting drops rather than growing without bound.
+SPOOL_CAPACITY = 250_000
+
+
+class SpoolSink:
+    """Bounded buffer of trace events awaiting the next coordinator flush."""
+
+    def __init__(self, capacity: int = SPOOL_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"spool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.seen = 0
+        self.dropped = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.seen += 1
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def drain(self) -> list[TraceEvent]:
+        """Hand over everything buffered; the spool restarts empty."""
+        drained = self.events
+        self.events = []
+        return drained
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _Fabric:
+    """The one attribute of ``cluster.fabric`` the obs plane reads."""
+
+    def __init__(self, node) -> None:
+        self.nodes = [node]
+
+
+class PeerClusterAdapter:
+    """One live peer's stack shaped like a ``Cluster`` for the obs plane.
+
+    Only the attributes :meth:`ObservabilityPlane.install`,
+    :meth:`ObservabilityPlane.finalize` and the sampler snapshot read
+    are provided; anything else staying absent is a feature — new plane
+    code reaching deeper will fail loudly here instead of silently
+    observing half a peer.
+    """
+
+    def __init__(self, clock: "LiveClock", engine, node, reassembler) -> None:
+        self.sim = clock
+        self.engines = {engine.node_name: engine}
+        self.fabric = _Fabric(node)
+        #: No simulated reliability layer exists live — TCP/UDS is the
+        #: reliability layer — so retransmit gauges read 0 by design.
+        self.transport = None
+        self.reassemblers = {node.name: reassembler}
+
+
+class LiveSampler(ObservabilitySampler):
+    """Wall-clock cadence for the shared ``sample_once`` core.
+
+    Timers go straight to ``loop.call_later`` — never ``clock.schedule``
+    — so the peer's quiescence predicate (``pending_timers == 0``) is
+    not pinned high by the sampler's own heartbeat.  The interval is in
+    virtual seconds, scaled to real seconds by the clock's time scale,
+    matching what the same scenario block means in a simulated run.
+    """
+
+    def __init__(
+        self,
+        adapter: PeerClusterAdapter,
+        interval: float,
+        *,
+        registry=None,
+        source: str = "obs:sampler",
+    ) -> None:
+        super().__init__(
+            adapter, interval, registry=registry, source=source, autostart=False
+        )
+        self._clock = adapter.sim
+        self._handle: Any = None
+        self._stopped = False
+
+    def start(self) -> "LiveSampler":
+        """Begin ticking (first sample after one interval); returns self."""
+        if self._handle is None and not self._stopped:
+            self._arm()
+        return self
+
+    def _arm(self) -> None:
+        real_delay = self.interval * self._clock.time_scale
+        self._handle = self._clock._loop.call_later(real_delay, self._wall_tick)
+
+    def _wall_tick(self) -> None:
+        if self._stopped:
+            return
+        self._clock.refresh()
+        self.sample_once()
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop ticking (idempotent); the collected series stay readable."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None

@@ -8,6 +8,7 @@ JSON-lines control protocol on stdin/stdout::
     MESH    -> MESH_OK                   connect to lower ranks, await rest
     START   -> STARTED                   install workload apps
     STATUS  -> STATUS {quiet, counters}  quiescence polling
+    FLUSH   -> FLUSHED {events, metrics} drain trace spool + registry snapshot
     STOP    -> REPORT {...}              final records + counters, then exit
 
 Inside, the peer assembles the *same* stack the simulated
@@ -50,7 +51,8 @@ from repro.madeleine.rx import MessageReassembler
 from repro.network.fabric import Node
 from repro.network.technologies import TECHNOLOGIES
 from repro.network.virtual import TrafficClass
-from repro.obs.recorder import ListSink
+from repro.network.wire import META_CORR, META_SENT_AT, META_VIA
+from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.runtime.metrics import MetricsCollector
 from repro.util.errors import ConfigurationError, ProtocolError
 from repro.util.rng import SeedSequenceRegistry
@@ -58,6 +60,7 @@ from repro.util.tracing import Tracer, event_to_dict
 
 from repro.live.loop import LiveClock
 from repro.live.nic import LiveNIC
+from repro.live.observe import LiveSampler, PeerClusterAdapter, SpoolSink
 from repro.live.transport import (
     MirrorReceiver,
     StreamDecoder,
@@ -69,7 +72,12 @@ from repro.live.transport import (
 __all__ = ["LivePeer", "main"]
 
 _READ_CHUNK = 1 << 16
-_TRACE_CAP = 50_000
+
+#: Default flight-recorder window when the scenario does not size one.
+#: Unlike the old hard REPORT cap, this never truncates what the
+#: coordinator sees — streaming flushes carry the full event stream —
+#: it only bounds the in-peer crash recorder.
+_RING_DEFAULT = 50_000
 
 
 def _node_names(n: int) -> list[str]:
@@ -365,10 +373,11 @@ class LivePeer:
         self.local = self.names[self.rank]
         self.timeout = float(config.get("timeout", 60.0))
 
+        obs_spec = dict(config.get("observability") or {})
+        obs_spec.setdefault("trace", bool(config.get("trace")))
+        self.obs_config = ObservabilityConfig.from_spec(obs_spec)
+
         self.tracer = Tracer()
-        self.trace_sink = ListSink()
-        if config.get("trace"):
-            self.tracer.subscribe(self.trace_sink)
         loop = asyncio.get_running_loop()
         self.clock = LiveClock(
             loop,
@@ -381,7 +390,49 @@ class LivePeer:
         self.mirror = MirrorReceiver(self.local, self.flows.get)
         self.metrics = MetricsCollector()
         self.apps: list = []
+        self._apps_installed = False
+        #: Data frames that raced ahead of this peer's START (see
+        #: ``_deliver_frame``); replayed once the flows exist.
+        self._pre_start_frames: list = []
         self._build_stack()
+        self._install_observability()
+
+    def _install_observability(self) -> None:
+        """Attach the full observability plane to this peer's stack.
+
+        The plane gets a sampler-less config — its base sampler lives on
+        the simulator event queue, which on a live clock would pin
+        ``pending_timers`` above zero and defeat quiescence detection —
+        and a :class:`LiveSampler` is driven off raw loop timers instead.
+        The spool is the streaming buffer the coordinator drains with
+        FLUSH requests; the plane's ring buffer stays as the bounded
+        in-process flight recorder.
+        """
+        ring = self.obs_config.ring_buffer
+        self.plane = ObservabilityPlane(
+            ObservabilityConfig(
+                sample_interval=None,
+                ring_buffer=ring if ring is not None else _RING_DEFAULT,
+                trace=self.obs_config.trace,
+            )
+        )
+        self.obs_adapter = PeerClusterAdapter(
+            self.clock, self.engine, self.node, self.reassembler
+        )
+        self.plane.install(self.obs_adapter)
+        self.spool: SpoolSink | None = None
+        if self.obs_config.trace:
+            self.spool = SpoolSink()
+            self.tracer.subscribe(self.spool)
+        self.sampler: LiveSampler | None = None
+        if self.obs_config.sample_interval is not None:
+            self.sampler = LiveSampler(
+                self.obs_adapter,
+                self.obs_config.sample_interval,
+                registry=self.plane.registry,
+                source=f"obs:{self.local}",
+            )
+        self._flushed = False
 
     # -- construction --------------------------------------------------
     def _build_stack(self) -> None:
@@ -463,6 +514,31 @@ class LivePeer:
 
     # -- inbound engine traffic ----------------------------------------
     def _deliver_frame(self, frame) -> None:
+        # START is delivered peer by peer, so a fast peer's first data
+        # frame can land here before *this* peer has installed its apps
+        # (and therefore registered its flows).  Park such frames and
+        # replay them from install_apps — decoding one now would die on
+        # "unknown flow id".
+        if not self._apps_installed:
+            self._pre_start_frames.append(frame)
+            return
+        if self.tracer.enabled and META_CORR in frame.meta:
+            # The receive half of a wire crossing: carries the sender's
+            # correlation id and clock so the coordinator can match it
+            # to the exact nic.send span on the sending peer.
+            self.tracer.emit(
+                self.clock.now,
+                f"live:{self.local}",
+                "live.recv",
+                corr=frame.meta[META_CORR],
+                src=frame.src,
+                dst=self.local,
+                via=frame.meta.get(META_VIA),
+                sent_at=frame.meta.get(META_SENT_AT),
+                packet_kind=frame.kind.value,
+                segments=len(frame.segments),
+                bytes=sum(seg.length for seg in frame.segments),
+            )
         packet = self.mirror.packet_from_frame(frame)
         self.node.receiver.deliver(packet)
 
@@ -483,6 +559,13 @@ class LivePeer:
             app = _build_app(entry)
             app.install(self.facade)
             self.apps.append(app)
+        if self.sampler is not None:
+            self.sampler.start()
+        self._apps_installed = True
+        if self._pre_start_frames:
+            early, self._pre_start_frames = self._pre_start_frames, []
+            for frame in early:
+                self._deliver_frame(frame)
         return len(self.apps)
 
     @property
@@ -511,18 +594,83 @@ class LivePeer:
         )
 
     def status(self) -> dict[str, Any]:
-        """One STATUS reply: quiescence flag plus delivery counters."""
+        """One STATUS reply: quiescence flag plus delivery counters.
+
+        ``now`` is this peer's clock at reply time; the coordinator
+        brackets the request with its own clock readings to estimate the
+        peer's offset (round-trip midpoint, see :mod:`repro.obs.merge`).
+        """
         return {
             "type": "status",
             "quiet": self.quiet,
+            "now": self.clock.refresh(),
             "submitted": self.hub.submitted,
             "done_sent": self.hub.done_sent,
             "done_received": self.hub.done_received,
             "fatal": self.hub.fatal,
         }
 
+    def flush(self) -> dict[str, Any]:
+        """One FLUSH reply: stream everything captured since the last one.
+
+        Drains the spool (trace events) and snapshots the registry, so
+        the coordinator's merged view — and its ``/metrics`` endpoint —
+        stay current while the run is in flight.  Once any flush has
+        happened the final REPORT only carries the tail, never a
+        re-send.
+        """
+        self._flushed = True
+        events = self.spool.drain() if self.spool is not None else []
+        # set_total is monotonic, so re-mirroring every flush is safe and
+        # keeps the in-flight /metrics view from reading all-zero until
+        # the final report.
+        self._mirror_live_metrics()
+        return {
+            "type": "flushed",
+            "node": self.local,
+            "now": self.clock.refresh(),
+            "events": [event_to_dict(e) for e in events],
+            "spool_dropped": self.spool.dropped if self.spool is not None else 0,
+            "metrics": self.plane.registry.to_snapshot(),
+        }
+
+    def _mirror_live_metrics(self) -> None:
+        """Mirror live-plane counters (hub, mirror, spool) into the registry.
+
+        The plane's ``finalize`` covers everything a simulated cluster
+        has; these are the extra truths only a socket-backed peer knows.
+        """
+        registry = self.plane.registry
+        labels = {"node": self.local}
+        registry.counter(
+            "repro_live_bytes_tx_total", labels, help="Bytes written to peer sockets"
+        ).set_total(self.hub.bytes_tx)
+        registry.counter(
+            "repro_live_bytes_rx_total", labels, help="Bytes read from peer sockets"
+        ).set_total(self.hub.bytes_rx)
+        registry.counter(
+            "repro_live_bytes_verified_total",
+            labels,
+            help="Payload bytes checked against the sender's pattern",
+        ).set_total(self.mirror.bytes_verified)
+        registry.counter(
+            "repro_live_corrupt_slices_total",
+            labels,
+            help="Payload slices that failed verification",
+        ).set_total(self.mirror.corrupt_slices)
+        if self.spool is not None:
+            registry.counter(
+                "repro_trace_spool_dropped_total",
+                labels,
+                help="Trace events dropped by the streaming spool",
+            ).set_total(self.spool.dropped)
+
     def report(self) -> dict[str, Any]:
         """The final REPORT payload: records, counters, apps, trace."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        self.plane.finalize()
+        self._mirror_live_metrics()
         records = [
             {
                 "message_id": r.message_id,
@@ -571,8 +719,13 @@ class LivePeer:
             if rtts:
                 entry["rtts"] = list(rtts)
             apps.append(entry)
-        events = self.trace_sink.events
-        dropped = max(0, len(events) - _TRACE_CAP)
+        # Trace tail: everything still in the spool.  When the
+        # coordinator streamed with FLUSH this is only the events since
+        # the last drain; when it never flushed (legacy path) it is the
+        # whole run, bounded solely by the spool capacity — and the
+        # drop counters say so honestly instead of silently capping.
+        trace_events = self.spool.drain() if self.spool is not None else []
+        ring = self.plane.sink
         return {
             "type": "report",
             "node": self.local,
@@ -590,8 +743,12 @@ class LivePeer:
                 "done_received": self.hub.done_received,
             },
             "apps": apps,
-            "trace": [event_to_dict(e) for e in events[:_TRACE_CAP]],
-            "trace_dropped": dropped,
+            "trace": [event_to_dict(e) for e in trace_events],
+            "trace_dropped": self.spool.dropped if self.spool is not None else 0,
+            "trace_seen": ring.seen if ring is not None else 0,
+            "ring_dropped": ring.dropped if ring is not None else 0,
+            "streamed": self._flushed,
+            "metrics": self.plane.registry.to_snapshot(),
             "fatal": self.hub.fatal,
         }
 
@@ -657,6 +814,9 @@ async def _control_loop() -> int:
             elif kind == "status":
                 assert peer is not None
                 _reply(peer.status())
+            elif kind == "flush":
+                assert peer is not None
+                _reply(peer.flush())
             elif kind == "stop":
                 assert peer is not None
                 _reply(peer.report())

@@ -38,10 +38,14 @@ __all__ = [
     "WirePacket",
     "HEADER_BYTES_PER_SEGMENT",
     "PACKET_HEADER_BYTES",
+    "META_CORR",
+    "META_SENT_AT",
+    "META_VIA",
     "WIRE_MAGIC",
     "WIRE_VERSION",
     "DecodedSegment",
     "DecodedFrame",
+    "correlation_id",
     "encode_frame",
     "encode_packet",
     "decode_frame",
@@ -51,6 +55,31 @@ __all__ = [
 PACKET_HEADER_BYTES = 16
 #: Framing bytes per segment (payload id, offset, length).
 HEADER_BYTES_PER_SEGMENT = 12
+
+# ----------------------------------------------------------------------
+# reserved ``meta`` extension-space keys (distributed tracing)
+# ----------------------------------------------------------------------
+# The ``meta`` dict is the wire header's open extension space: any JSON
+# payload rides along without a format change.  The live plane reserves
+# these keys so a receiving peer can correlate every decoded frame with
+# the exact nic.send span that produced it on the sending peer.
+
+#: Correlation id, unique per (sending node, packet) — see
+#: :func:`correlation_id`.
+META_CORR = "_corr"
+#: Sender's run clock (seconds since the shared epoch) at encode time.
+META_SENT_AT = "_sent_at"
+#: Name of the sending NIC rail (e.g. ``"n0.mx00"``).
+META_VIA = "_via"
+
+
+def correlation_id(node: str, packet_id: int) -> str:
+    """The wire-crossing correlation id stamped into packet meta.
+
+    Packet ids are process-local counters, so namespacing by the sending
+    node makes the pair unique across a whole live mesh.
+    """
+    return f"{node}#{packet_id}"
 
 _packet_ids = itertools.count()
 

@@ -21,26 +21,55 @@ Quick use::
 
 or declaratively via a scenario's ``"observability"`` block and the
 ``python -m repro run … --trace-out/--metrics-out`` flags.
+
+For *distributed* (multi-process live) runs the plane extends across
+peers: :mod:`repro.obs.merge` aligns per-peer clocks and merges trace
+streams and registries, :mod:`repro.obs.serve` exposes the cluster
+registry over HTTP during the run, and :mod:`repro.obs.diff` gates two
+runs against each other (``python -m repro obs diff A B --check``).
 """
 
 from repro.obs.export import load_events, to_chrome_trace, write_trace
+from repro.obs.merge import (
+    Crossing,
+    MergedTrace,
+    OffsetSample,
+    aggregate_registries,
+    align_events,
+    estimate_offsets,
+    extract_crossings,
+    merge_histograms,
+    merge_registries,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.obs.recorder import ListSink, RingBufferSink
 from repro.obs.sampler import ObservabilitySampler, ObsSample
+from repro.obs.serve import ObsHTTPServer, parse_serve_address
 
 __all__ = [
     "Counter",
+    "Crossing",
     "Gauge",
     "Histogram",
     "ListSink",
+    "MergedTrace",
     "MetricsRegistry",
+    "ObsHTTPServer",
     "ObsSample",
     "ObservabilityConfig",
     "ObservabilityPlane",
     "ObservabilitySampler",
+    "OffsetSample",
     "RingBufferSink",
+    "aggregate_registries",
+    "align_events",
+    "estimate_offsets",
+    "extract_crossings",
     "load_events",
+    "merge_histograms",
+    "merge_registries",
+    "parse_serve_address",
     "to_chrome_trace",
     "write_trace",
 ]

@@ -11,7 +11,14 @@ the Chrome trace-event format) and reconstructs the run's story:
   ``optimizer.decide`` records: how many dispatches had a *wider*
   candidate plan available (more segments aggregated) that lost on
   score, how the search budget was spent, and which channels leave the
-  most aggregation on the table.
+  most aggregation on the table;
+* a **cross-peer view** — on a merged multi-process trace (see
+  :mod:`repro.obs.merge`): per-edge one-way latency percentiles from
+  the correlated ``live.recv`` records, the aggregation ratio achieved
+  on each wire (segments per data packet, per ``src->dst`` edge),
+  retransmit storms (bursts of ``rel.retransmit`` events), and
+  hold-timer starvation (samples where a Nagle hold was armed while
+  every NIC sat idle — traffic waiting on a timer with the wire free).
 
 Everything renders as ASCII so it works over SSH next to the
 simulation; open the same file in https://ui.perfetto.dev for the
@@ -27,9 +34,20 @@ from repro.obs.export import load_events
 from repro.util.tracing import TraceEvent
 from repro.util.units import format_time
 
-__all__ = ["TraceAnalysis", "analyze_events", "analyze_file", "main"]
+__all__ = [
+    "TraceAnalysis",
+    "analyze_events",
+    "analyze_file",
+    "summary_metrics",
+    "main",
+]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Retransmit events closer together than this (seconds) form a burst;
+#: a burst of :data:`_STORM_SIZE` or more counts as a storm.
+_STORM_GAP = 0.01
+_STORM_SIZE = 3
 
 
 def _sparkline(values: list[float], width: int = 60) -> str:
@@ -73,6 +91,38 @@ class _Series:
 
 
 @dataclass
+class _EdgeStats:
+    """One-way latency samples for one ``src->dst`` wire edge."""
+
+    latencies: list[float] = field(default_factory=list)
+    clamped: int = 0  #: crossings whose aligned latency was clamped to 0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+
+@dataclass
+class _WireAgg:
+    """Aggregation accounting for one ``src->dst`` wire edge."""
+
+    data_packets: int = 0
+    segments: int = 0
+    payload_bytes: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.segments / self.data_packets if self.data_packets else 0.0
+
+
+@dataclass
 class TraceAnalysis:
     """Everything ``analyze`` learned from one trace."""
 
@@ -94,10 +144,25 @@ class TraceAnalysis:
     truncation: dict[str, int] = field(default_factory=dict)
     #: "node/channel" -> misses.
     miss_by_channel: dict[str, int] = field(default_factory=dict)
+    #: cross-peer view: "src->dst" -> correlated one-way latencies.
+    edges: dict[str, _EdgeStats] = field(default_factory=dict)
+    #: "src->dst" -> per-wire aggregation accounting (from nic.send).
+    wire_agg: dict[str, _WireAgg] = field(default_factory=dict)
+    retransmit_count: int = 0
+    retransmit_storms: int = 0
+    #: obs.sample ticks where a hold timer was armed with every NIC idle.
+    hold_starved_samples: int = 0
+    hold_starved_streak: int = 0  #: longest consecutive run of the above
+    samples: int = 0  #: obs.sample ticks seen
 
     @property
     def miss_fraction(self) -> float:
         return self.misses / self.decides if self.decides else 0.0
+
+    @property
+    def crossings(self) -> int:
+        """Correlated wire crossings (live.recv records with latency)."""
+        return sum(edge.count for edge in self.edges.values())
 
 
 def analyze_events(events: list[TraceEvent]) -> TraceAnalysis:
@@ -106,16 +171,48 @@ def analyze_events(events: list[TraceEvent]) -> TraceAnalysis:
     analysis.n_events = len(events)
     if events:
         analysis.span = (events[0].time, max(e.time for e in events))
+    retransmit_times: list[float] = []
+    streak = 0
     for event in events:
         analysis.kinds[event.kind] = analysis.kinds.get(event.kind, 0) + 1
         if event.kind == "obs.sample":
-            _ingest_sample(analysis, event)
+            starved = _ingest_sample(analysis, event)
+            analysis.samples += 1
+            streak = streak + 1 if starved else 0
+            if starved:
+                analysis.hold_starved_samples += 1
+                analysis.hold_starved_streak = max(
+                    analysis.hold_starved_streak, streak
+                )
         elif event.kind == "optimizer.decide":
             _ingest_decide(analysis, event)
+        elif event.kind == "live.recv":
+            _ingest_crossing(analysis, event)
+        elif event.kind == "nic.send":
+            _ingest_send(analysis, event)
+        elif event.kind == "rel.retransmit":
+            retransmit_times.append(event.time)
+    analysis.retransmit_count = len(retransmit_times)
+    analysis.retransmit_storms = _count_storms(retransmit_times)
     return analysis
 
 
-def _ingest_sample(analysis: TraceAnalysis, event: TraceEvent) -> None:
+def _count_storms(times: list[float]) -> int:
+    """Bursts of >= _STORM_SIZE retransmits within _STORM_GAP gaps."""
+    storms = 0
+    burst = 0
+    previous: float | None = None
+    for t in sorted(times):
+        burst = burst + 1 if previous is not None and t - previous <= _STORM_GAP else 1
+        if burst == _STORM_SIZE:  # count each burst once, as it forms
+            storms += 1
+        previous = t
+    return storms
+
+
+def _ingest_sample(analysis: TraceAnalysis, event: TraceEvent) -> bool:
+    """Ingest one sampler tick; returns True when it shows hold starvation
+    (a Nagle hold armed while every sampled NIC sat idle)."""
     detail = event.detail
     t = event.time
     backlog = detail.get("backlog")
@@ -127,11 +224,45 @@ def _ingest_sample(analysis: TraceAnalysis, event: TraceEvent) -> None:
         per_node[node] = per_node.get(node, 0.0) + pair[0]
     for node, depth in per_node.items():
         analysis.node_depth.setdefault(node, _Series()).add(t, depth)
-    for nic_name, fraction in (detail.get("nic_busy") or {}).items():
+    busy = detail.get("nic_busy") or {}
+    for nic_name, fraction in busy.items():
         analysis.nic_busy.setdefault(nic_name, _Series()).add(t, fraction)
     retrans = detail.get("retransmits_in_flight")
     if retrans is not None:
         analysis.retransmits.add(t, retrans)
+    holds = detail.get("holds_armed") or 0
+    return bool(holds) and bool(busy) and max(busy.values()) == 0.0
+
+
+def _ingest_crossing(analysis: TraceAnalysis, event: TraceEvent) -> None:
+    """One correlated wire crossing (live.recv with a send timestamp)."""
+    detail = event.detail
+    src = detail.get("src")
+    send_time = detail.get("send_time", detail.get("sent_at"))
+    if src is None or send_time is None:
+        return
+    dst = detail.get("dst") or event.source.partition(":")[2] or "?"
+    edge = analysis.edges.setdefault(f"{src}->{dst}", _EdgeStats())
+    latency = event.time - float(send_time)
+    if latency < 0:  # unaligned raw clocks can do this; never report it
+        latency = 0.0
+        edge.clamped += 1
+    edge.latencies.append(latency)
+
+
+def _ingest_send(analysis: TraceAnalysis, event: TraceEvent) -> None:
+    """Per-wire aggregation accounting from a data-packet nic.send."""
+    detail = event.detail
+    if detail.get("packet_kind") != "data":
+        return
+    dst = detail.get("dst")
+    node = event.source.partition(":")[2].split(".", 1)[0]
+    if dst is None or not node:
+        return
+    wire = analysis.wire_agg.setdefault(f"{node}->{dst}", _WireAgg())
+    wire.data_packets += 1
+    wire.segments += int(detail.get("segments", 0) or 0)
+    wire.payload_bytes += int(detail.get("bytes", 0) or 0)
 
 
 def _ingest_decide(analysis: TraceAnalysis, event: TraceEvent) -> None:
@@ -209,6 +340,47 @@ def render(analysis: TraceAnalysis, *, width: int = 60, top: int = 5) -> str:
             f"peak {series.peak[1]:.0f}"
         )
 
+    if analysis.edges:
+        lines.append("")
+        lines.append("cross-peer wire crossings (correlated one-way latency):")
+        name_width = max(len(e) for e in analysis.edges)
+        for edge_name in sorted(analysis.edges):
+            edge = analysis.edges[edge_name]
+            clamp = f"  clamped {edge.clamped}" if edge.clamped else ""
+            lines.append(
+                f"  {edge_name:<{name_width}}  n={edge.count:<6} "
+                f"p50 {format_time(edge.percentile(0.50))}  "
+                f"p90 {format_time(edge.percentile(0.90))}  "
+                f"max {format_time(edge.percentile(1.0))}{clamp}"
+            )
+
+    if analysis.wire_agg:
+        lines.append("")
+        lines.append("aggregation per wire (segments per data packet):")
+        name_width = max(len(w) for w in analysis.wire_agg)
+        for wire_name in sorted(analysis.wire_agg):
+            wire = analysis.wire_agg[wire_name]
+            lines.append(
+                f"  {wire_name:<{name_width}}  ratio {wire.ratio:5.2f}  "
+                f"({wire.segments} segments / {wire.data_packets} packets, "
+                f"{wire.payload_bytes} B)"
+            )
+
+    if analysis.retransmit_count:
+        lines.append("")
+        lines.append(
+            f"retransmit events: {analysis.retransmit_count} "
+            f"({analysis.retransmit_storms} storm(s): >= {_STORM_SIZE} within "
+            f"{_STORM_GAP * 1e3:.0f} ms gaps)"
+        )
+    if analysis.hold_starved_samples:
+        lines.append("")
+        lines.append(
+            f"hold-timer starvation: {analysis.hold_starved_samples}/"
+            f"{analysis.samples} samples had a Nagle hold armed with every "
+            f"NIC idle (longest streak {analysis.hold_starved_streak})"
+        )
+
     lines.append("")
     lines.append("aggregation opportunities (optimizer.decide records):")
     if analysis.decides:
@@ -243,6 +415,44 @@ def render(analysis: TraceAnalysis, *, width: int = 60, top: int = 5) -> str:
             "  no decide records (use the 'search' strategy with tracing on)"
         )
     return "\n".join(lines)
+
+
+def summary_metrics(analysis: TraceAnalysis) -> dict[str, float]:
+    """Flatten an analysis into the scalar map ``obs diff`` compares.
+
+    Keys are stable identifiers (``edge/n0->n1/latency_p50_us``), values
+    plain floats, so two analyses — or an analysis and a checked-in
+    baseline — diff mechanically.
+    """
+    out: dict[str, float] = {
+        "trace/events": float(analysis.n_events),
+        "trace/samples": float(analysis.samples),
+        "decide/records": float(analysis.decides),
+        "decide/miss_fraction": analysis.miss_fraction,
+        "retransmit/events": float(analysis.retransmit_count),
+        "retransmit/storms": float(analysis.retransmit_storms),
+        "hold/starved_samples": float(analysis.hold_starved_samples),
+        "hold/starved_streak": float(analysis.hold_starved_streak),
+        "crossings/total": float(analysis.crossings),
+        "crossings/clamped": float(
+            sum(edge.clamped for edge in analysis.edges.values())
+        ),
+    }
+    if analysis.backlog.values:
+        out["backlog/mean"] = analysis.backlog.mean
+        out["backlog/peak"] = analysis.backlog.peak[1]
+    for edge_name, edge in sorted(analysis.edges.items()):
+        prefix = f"edge/{edge_name}"
+        out[f"{prefix}/crossings"] = float(edge.count)
+        out[f"{prefix}/latency_p50_us"] = edge.percentile(0.50) * 1e6
+        out[f"{prefix}/latency_p90_us"] = edge.percentile(0.90) * 1e6
+        out[f"{prefix}/latency_max_us"] = edge.percentile(1.0) * 1e6
+    for wire_name, wire in sorted(analysis.wire_agg.items()):
+        prefix = f"wire/{wire_name}"
+        out[f"{prefix}/ratio"] = wire.ratio
+        out[f"{prefix}/data_packets"] = float(wire.data_packets)
+        out[f"{prefix}/segments"] = float(wire.segments)
+    return out
 
 
 def main(args) -> int:

@@ -12,6 +12,11 @@ event format ``chrome://tracing`` and https://ui.perfetto.dev consume:
   their protocol token: park → ready (or park → timeout, labelled so);
 * ``obs.sample`` records become **counter tracks** (``C``): queue
   depth/bytes per node, per-NIC busy fraction, retransmits in flight;
+* ``live.recv`` records (a live peer decoding a wire frame) become
+  **flow events** (``s``/``f``): an arrow from the sending NIC's
+  ``nic.send`` span to the receiving peer's decode instant, keyed by the
+  correlation id the sender stamped into the wire meta — in a merged
+  multi-peer trace this draws every wire crossing across process lanes;
 * everything else (dispatch decisions, activations, failovers) becomes
   instant events carrying their full detail dict in ``args``.
 
@@ -201,6 +206,11 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
             # load_events without losing the sampler's full detail.
             out.append(_instant(event, ts, pid, tid))
             continue
+        elif kind == "live.recv":
+            out.extend(_flow_pair(event, ts, pid, tid, tracks))
+            # The instant keeps the record loadable by load_events (the
+            # flow pair is a projection, like counters are for samples).
+            out.append(_instant(event, ts, pid, tid))
         else:
             out.append(_instant(event, ts, pid, tid))
 
@@ -243,6 +253,35 @@ def _instant(event: TraceEvent, ts: float, pid: int, tid: int) -> dict[str, Any]
         "cat": event.kind.split(".", 1)[0],
         "args": args,
     }
+
+
+def _flow_pair(
+    event: TraceEvent, ts: float, pid: int, tid: int, tracks: _TrackAllocator
+) -> list[dict[str, Any]]:
+    """Flow start/finish (`ph: s`/`f`) for one ``live.recv`` record.
+
+    The start sits on the sending NIC's track at the (aligned, when the
+    merge ran) send timestamp — visually anchored to the ``nic.send``
+    span that produced the frame; the finish sits on the receiver's
+    track at decode time.  Without a correlation id there is nothing to
+    key the arrow on, so the record stays a plain instant.
+    """
+    detail = event.detail
+    corr = detail.get("corr")
+    if corr is None:
+        return []
+    send_time = detail.get("send_time", detail.get("sent_at"))
+    via = detail.get("via")
+    if via is not None:
+        src_pid, src_tid = tracks.track_for(f"nic:{via}")
+    else:  # sender NIC unknown: anchor the start on the sender process
+        src_pid, src_tid = tracks.track_for(f"live:{detail.get('src', '?')}")
+    start_ts = _us(float(send_time)) if send_time is not None else ts
+    flow = {"cat": "wire", "id": str(corr), "name": "wire"}
+    return [
+        {"ph": "s", "ts": min(start_ts, ts), "pid": src_pid, "tid": src_tid, **flow},
+        {"ph": "f", "ts": ts, "pid": pid, "tid": tid, "bp": "e", **flow},
+    ]
 
 
 def _sample_counters(event: TraceEvent, tracks: _TrackAllocator) -> list[dict[str, Any]]:

@@ -19,7 +19,8 @@ hand-tuning bucket lists per metric.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import re
+from typing import Any, Iterable, Mapping
 
 from repro.util.errors import ConfigurationError
 
@@ -28,18 +29,39 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 #: Frozen label form: sorted (key, value) pairs.
 LabelKey = tuple[tuple[str, str], ...]
 
+#: Exposition-format grammar for metric and label names.
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
 
 def _freeze_labels(labels: Mapping[str, object] | None) -> LabelKey:
     if not labels:
         return ()
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    frozen = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    for key, _ in frozen:
+        if not _LABEL_NAME_RE.match(key):
+            raise ConfigurationError(
+                f"label name {key!r} violates the exposition grammar "
+                "([a-zA-Z_][a-zA-Z0-9_]*)"
+            )
+    return frozen
+
+
+def _escape_label_value(value: str) -> str:
+    """Exposition-format label-value escaping: backslash, quote, newline."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline only (quotes stay)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = labels + extra
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -168,6 +190,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @classmethod
+    def _restore(
+        cls,
+        name: str,
+        labels: LabelKey,
+        bounds: tuple[float, ...],
+        counts: list[int],
+        inf_count: int,
+        total: float,
+        count: int,
+    ) -> "Histogram":
+        """Rebuild a histogram from snapshot state, bypassing bucket setup."""
+        if len(bounds) != len(counts) or not bounds:
+            raise ConfigurationError(
+                f"histogram snapshot for {name!r} has {len(bounds)} bounds "
+                f"but {len(counts)} counts"
+            )
+        hist = object.__new__(cls)
+        hist.name = name
+        hist.labels = labels
+        hist.bounds = tuple(float(b) for b in bounds)
+        hist.counts = [int(c) for c in counts]
+        hist.inf_count = int(inf_count)
+        hist.total = float(total)
+        hist.count = int(count)
+        return hist
+
 
 class MetricsRegistry:
     """Named instruments plus the Prometheus text renderer.
@@ -197,8 +246,11 @@ class MetricsRegistry:
         help: str,
         **kwargs,
     ):
-        if not name:
-            raise ConfigurationError("metric name must be non-empty")
+        if not _METRIC_NAME_RE.match(name or ""):
+            raise ConfigurationError(
+                f"metric name {name!r} violates the exposition grammar "
+                "([a-zA-Z_:][a-zA-Z0-9_:]*)"
+            )
         known_kind = self._kinds.get(name)
         if known_kind is not None and known_kind != kind:
             raise ConfigurationError(
@@ -275,7 +327,7 @@ class MetricsRegistry:
         for name, metrics in by_name.items():
             help_text = self._help.get(name)
             if help_text:
-                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {self._kinds[name]}")
             for metric in metrics:
                 if isinstance(metric, Histogram):
@@ -290,6 +342,86 @@ class MetricsRegistry:
                     label_text = _format_labels(metric.labels)
                     lines.append(f"{name}{label_text} {_num(metric.value)}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+    # ------------------------------------------------------------------
+    # snapshot (JSON-able full dump, for shipping across processes)
+    # ------------------------------------------------------------------
+    def to_snapshot(self) -> dict[str, Any]:
+        """Serialize every instrument to a JSON-able dict.
+
+        The inverse of :meth:`from_snapshot`.  This is how a live peer
+        ships its registry to the coordinator over the JSON-lines
+        control protocol (see :mod:`repro.obs.merge` for the cross-peer
+        merge semantics).
+        """
+        metrics: list[dict[str, Any]] = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            entry: dict[str, Any] = {
+                "name": name,
+                "kind": metric.kind,
+                "labels": [list(pair) for pair in labels],
+                "help": self._help.get(name, ""),
+            }
+            if isinstance(metric, Histogram):
+                entry.update(
+                    bounds=list(metric.bounds),
+                    counts=list(metric.counts),
+                    inf_count=metric.inf_count,
+                    total=metric.total,
+                    count=metric.count,
+                )
+            else:
+                entry["value"] = metric.value
+            metrics.append(entry)
+        return {"namespace": self.namespace, "metrics": metrics}
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_snapshot` output."""
+        registry = cls(namespace=str(payload.get("namespace", "repro")))
+        for entry in payload.get("metrics", ()):
+            registry._insert_snapshot_entry(entry)
+        return registry
+
+    def _insert_snapshot_entry(self, entry: Mapping[str, Any]) -> None:
+        try:
+            name = entry["name"]
+            kind = entry["kind"]
+            labels = _freeze_labels(dict((k, v) for k, v in entry["labels"]))
+        except (KeyError, TypeError, ValueError) as bad:
+            raise ConfigurationError(f"malformed metric snapshot entry: {bad}") from None
+        known_kind = self._kinds.get(name)
+        if known_kind is not None and known_kind != kind:
+            raise ConfigurationError(f"metric {name!r} is a {known_kind}, not a {kind}")
+        key = (name, labels)
+        if key in self._metrics:
+            raise ConfigurationError(
+                f"duplicate snapshot series {name!r} {dict(labels)!r}"
+            )
+        metric: Counter | Gauge | Histogram
+        if kind == "counter":
+            metric = Counter(name, labels)
+            metric.value = float(entry.get("value", 0.0))
+        elif kind == "gauge":
+            metric = Gauge(name, labels)
+            metric.value = float(entry.get("value", 0.0))
+        elif kind == "histogram":
+            metric = Histogram._restore(
+                name,
+                labels,
+                tuple(entry.get("bounds", ())),
+                list(entry.get("counts", ())),
+                int(entry.get("inf_count", 0)),
+                float(entry.get("total", 0.0)),
+                int(entry.get("count", 0)),
+            )
+        else:
+            raise ConfigurationError(f"unknown metric kind {kind!r} in snapshot")
+        self._metrics[key] = metric
+        self._kinds[name] = kind
+        help_text = entry.get("help")
+        if help_text and name not in self._help:
+            self._help[name] = str(help_text)
 
 
 def _num(value: float) -> str:

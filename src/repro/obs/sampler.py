@@ -62,6 +62,8 @@ class ObservabilitySampler:
         *,
         registry: "MetricsRegistry | None" = None,
         horizon: float | None = None,
+        source: str = "obs:sampler",
+        autostart: bool = True,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError(f"sample interval must be > 0, got {interval}")
@@ -71,19 +73,41 @@ class ObservabilitySampler:
         self.interval = interval
         self.horizon = horizon
         self.registry = registry
+        #: Trace source the tick emits under; live peers use ``obs:<node>``
+        #: so merged multi-process traces attribute samples to a peer.
+        self.source = source
         self.samples: list[ObsSample] = []
         self._prev_busy: dict[str, float] = {}
         self._prev_time: float | None = None
-        cluster.sim.schedule(0.0, self._tick)
+        if autostart:
+            # Subclasses with their own scheduling discipline (the live
+            # plane's wall-clock sampler) pass autostart=False: the base
+            # tick would pin itself to the event queue and, live, keep a
+            # timer permanently pending — defeating quiescence detection.
+            cluster.sim.schedule(0.0, self._tick)
 
     # ------------------------------------------------------------------
     # the tick
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         cluster = self._cluster
-        now = cluster.sim.now
-        if self.horizon is not None and now > self.horizon:
+        if self.horizon is not None and cluster.sim.now > self.horizon:
             return
+        self.sample_once()
+        if self.horizon is None and cluster.sim.pending_events == 0:
+            # The tick just consumed was the only thing scheduled: the
+            # simulation has drained, so let run_until_idle terminate.
+            return
+        cluster.sim.schedule(self.interval, self._tick)
+
+    def sample_once(self) -> ObsSample:
+        """Take one sample now: record, mirror to the registry, emit.
+
+        The scheduling-free core of :meth:`_tick`, shared with subclasses
+        that drive their own cadence (live wall-clock sampling).
+        """
+        cluster = self._cluster
+        now = cluster.sim.now
         sample = self._snapshot(now)
         self.samples.append(sample)
         if self.registry is not None:
@@ -92,7 +116,7 @@ class ObservabilitySampler:
         if tracer.enabled:
             tracer.emit(
                 now,
-                "obs:sampler",
+                self.source,
                 "obs.sample",
                 queues={k: list(v) for k, v in sample.queues.items()},
                 nic_busy=sample.nic_busy,
@@ -103,11 +127,7 @@ class ObservabilitySampler:
                 holds_armed=sample.holds_armed,
                 completed=sample.messages_completed,
             )
-        if self.horizon is None and cluster.sim.pending_events == 0:
-            # The tick just consumed was the only thing scheduled: the
-            # simulation has drained, so let run_until_idle terminate.
-            return
-        cluster.sim.schedule(self.interval, self._tick)
+        return sample
 
     def _snapshot(self, now: float) -> ObsSample:
         cluster = self._cluster

@@ -1,0 +1,240 @@
+"""Property tests for the cross-peer merge operations.
+
+The merge layer (:mod:`repro.obs.merge`) is pure data-plumbing with
+algebraic contracts, so it gets algebraic tests:
+
+* histogram bucket-wise merge must equal observing the union of the raw
+  samples into one histogram;
+* counter aggregation must be associative and commutative;
+* clock-offset alignment must preserve each peer's internal event order
+  no matter the offsets;
+* offset estimation must recover an exact skew from noise-free probes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.merge import (
+    OffsetSample,
+    aggregate_registries,
+    align_events,
+    estimate_offsets,
+    extract_crossings,
+    merge_histograms,
+    merge_registries,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util.errors import ConfigurationError
+from repro.util.tracing import TraceEvent
+
+# Values that land in finite buckets and keep float sums exactly
+# comparable; the merge itself is pure integer bucket arithmetic.
+_observations = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    max_size=40,
+)
+
+
+def _hist_registry(samples, *, name="repro_m", n_buckets=8):
+    reg = MetricsRegistry()
+    hist = reg.histogram(name, {"node": "n0"}, base=1e-6, growth=4.0,
+                         n_buckets=n_buckets)
+    for value in samples:
+        hist.observe(value)
+    return reg, hist
+
+
+class TestHistogramMerge:
+    @given(a=_observations, b=_observations)
+    @settings(max_examples=60, deadline=None)
+    def test_bucketwise_merge_equals_union_of_observations(self, a, b):
+        _, ha = _hist_registry(a)
+        _, hb = _hist_registry(b)
+        _, hu = _hist_registry(a + b)
+        merge_histograms(ha, hb)
+        assert ha.counts == hu.counts
+        assert ha.inf_count == hu.inf_count
+        assert ha.count == hu.count
+        assert math.isclose(ha.total, hu.total, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_mismatched_bounds_rejected(self):
+        _, ha = _hist_registry([1.0])
+        reg = MetricsRegistry()
+        hb = reg.histogram("repro_m", {"node": "n0"}, base=1e-6, growth=4.0,
+                           n_buckets=12)
+        with pytest.raises(ConfigurationError):
+            merge_histograms(ha, hb)
+
+
+def _counter_registry(values: dict[str, int]) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for node, value in values.items():
+        reg.counter("repro_x_total", {"node": node}).inc(value)
+    return reg
+
+
+_counter_values = st.dictionaries(
+    st.sampled_from(["n0", "n1", "n2"]),
+    st.integers(min_value=0, max_value=10**9),
+    max_size=3,
+)
+
+
+def _totals(reg: MetricsRegistry) -> dict:
+    return {
+        (e["name"], tuple(sorted(map(tuple, e["labels"])))): e["value"]
+        for e in reg.to_snapshot()["metrics"]
+    }
+
+
+class TestCounterAggregation:
+    @given(a=_counter_values, b=_counter_values)
+    @settings(max_examples=60, deadline=None)
+    def test_commutative(self, a, b):
+        ab = aggregate_registries([_counter_registry(a), _counter_registry(b)])
+        ba = aggregate_registries([_counter_registry(b), _counter_registry(a)])
+        assert _totals(ab) == _totals(ba)
+
+    @given(a=_counter_values, b=_counter_values, c=_counter_values)
+    @settings(max_examples=60, deadline=None)
+    def test_associative(self, a, b, c):
+        regs = [_counter_registry(v) for v in (a, b, c)]
+        left = aggregate_registries(
+            [aggregate_registries(regs[:2]), regs[2]]
+        )
+        flat = aggregate_registries(regs)
+        assert _totals(left) == _totals(flat)
+
+    def test_sums_values(self):
+        out = aggregate_registries(
+            [_counter_registry({"n0": 3}), _counter_registry({"n0": 4})]
+        )
+        assert out.get("repro_x_total", {"node": "n0"}).value == 7
+
+
+class TestRelabelMerge:
+    def test_peer_label_disambiguates_identical_series(self):
+        per_peer = {
+            "n0": _counter_registry({"n0": 5}),
+            "n1": _counter_registry({"n0": 7}),
+        }
+        cluster = merge_registries(per_peer)
+        assert cluster.get("repro_x_total", {"node": "n0", "peer": "n0"}).value == 5
+        assert cluster.get("repro_x_total", {"node": "n0", "peer": "n1"}).value == 7
+
+    def test_accepts_snapshots(self):
+        cluster = merge_registries({"n0": _counter_registry({"n0": 2}).to_snapshot()})
+        assert cluster.get("repro_x_total", {"node": "n0", "peer": "n0"}).value == 2
+
+    def test_reserved_peer_label_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", {"peer": "oops"}).inc()
+        with pytest.raises(ConfigurationError):
+            merge_registries({"n0": reg})
+
+
+_per_peer_times = st.dictionaries(
+    st.sampled_from(["n0", "n1", "n2"]),
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        max_size=25,
+    ),
+    max_size=3,
+)
+_offsets = st.dictionaries(
+    st.sampled_from(["n0", "n1", "n2"]),
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    max_size=3,
+)
+
+
+class TestAlignment:
+    @given(times=_per_peer_times, offsets=_offsets)
+    @settings(max_examples=80, deadline=None)
+    def test_per_peer_order_preserved(self, times, offsets):
+        events_by_peer = {
+            peer: [
+                TraceEvent(t, f"src:{peer}", "tick", {"seq": i})
+                for i, t in enumerate(sorted(ts))
+            ]
+            for peer, ts in times.items()
+        }
+        merged = align_events(events_by_peer, offsets)
+        assert len(merged.events) == sum(len(v) for v in events_by_peer.values())
+        for peer in events_by_peer:
+            seqs = [
+                e.detail["seq"]
+                for e in merged.events
+                if e.source == f"src:{peer}"
+            ]
+            assert seqs == sorted(seqs)
+        assert merged.events == sorted(merged.events, key=lambda e: e.time)
+
+    def test_recv_send_time_rewritten_and_clamped(self):
+        events = {
+            "n1": [
+                TraceEvent(10.0, "peer:n1", "live.recv",
+                           {"corr": "n0#1", "src": "n0", "sent_at": 9.0}),
+                TraceEvent(11.0, "peer:n1", "live.recv",
+                           {"corr": "n0#2", "src": "n0", "sent_at": 50.0}),
+            ]
+        }
+        merged = align_events(events, {"n0": 0.0, "n1": 0.0})
+        ok, clamped = merged.events
+        assert ok.detail["send_time"] == 9.0
+        assert clamped.detail["send_time"] == clamped.time  # clamped down
+        assert merged.crossings_clamped == 1
+
+
+class TestOffsetEstimation:
+    @given(
+        skew=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        rtt=st.floats(min_value=1e-6, max_value=0.01, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_exact_skew_from_symmetric_probes(self, skew, rtt):
+        # Peer clock = true time + skew; probe replies land mid-RTT.
+        samples = [
+            OffsetSample(peer="n1", t0=t, t1=t + rtt,
+                         peer_now=t + rtt / 2 + skew)
+            for t in (0.0, 1.0, 2.0)
+        ]
+        offsets = estimate_offsets(samples, peers=["n0", "n1"])
+        assert offsets["n0"] == 0.0
+        assert math.isclose(offsets["n1"], skew, rel_tol=0, abs_tol=1e-9)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_offsets([OffsetSample("n1", 1.0, 0.5, 1.0)])
+
+    def test_crossing_refinement_reduces_latency_asymmetry(self):
+        # n1 runs 10 ms ahead; probes are asymmetric (reply path slower)
+        # so the midpoint estimate alone is biased.
+        skew = 0.010
+        samples = [
+            OffsetSample("n1", t0=t, t1=t + 0.004, peer_now=t + 0.003 + skew)
+            for t in (0.0, 0.5)
+        ]
+        biased = estimate_offsets(samples, peers=["n0", "n1"])["n1"]
+        # True one-way latency 1 ms each direction.
+        events = {
+            "n0": [
+                TraceEvent(t + 0.001, "peer:n0", "live.recv",
+                           {"corr": f"n1#{i}", "src": "n1",
+                            "sent_at": t + skew})
+                for i, t in enumerate((1.0, 1.1))
+            ],
+            "n1": [
+                TraceEvent(t + 0.001 + skew, "peer:n1", "live.recv",
+                           {"corr": f"n0#{i}", "src": "n0", "sent_at": t})
+                for i, t in enumerate((1.2, 1.3))
+            ],
+        }
+        crossings = extract_crossings(events)
+        refined = estimate_offsets(samples, crossings, peers=["n0", "n1"])["n1"]
+        assert abs(refined - skew) < abs(biased - skew)
