@@ -159,6 +159,15 @@ def _cmd_live_run(args) -> int:
     from repro.runtime.scenario import load_scenario_file
 
     scenario = load_scenario_file(args.scenario)
+    if args.chaos:
+        import os as _os
+
+        scenario = dict(scenario)
+        if _os.path.exists(args.chaos):
+            with open(args.chaos, encoding="utf-8") as f:
+                scenario["faults"] = json.load(f)
+        else:
+            scenario["faults"] = json.loads(args.chaos)
     observability = dict(scenario.get("observability", {}))
     if args.sample_interval is not None:
         observability["sample_interval"] = args.sample_interval
@@ -193,6 +202,15 @@ def _cmd_live_run(args) -> int:
             "clock_offsets": result.offsets,
             "crossings_matched": result.crossings_matched,
             "crossings_clamped": result.crossings_clamped,
+            "dead_peers": [
+                {
+                    "rank": d.rank,
+                    "node": d.node,
+                    "reason": d.reason,
+                    "time_to_detect": d.time_to_detect,
+                }
+                for d in result.dead_peers
+            ],
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -207,6 +225,18 @@ def _cmd_live_run(args) -> int:
     print(f"network transactions : {report.network_transactions}")
     print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
     print(f"rendezvous transfers : {report.rdv_count}")
+    if report.retransmits or report.packets_dropped:
+        print(
+            f"chaos recovery       : {report.retransmits} retransmits "
+            f"({report.packets_dropped} dropped, "
+            f"{report.packets_corrupted} corrupted on the wire)"
+        )
+    if report.degraded:
+        dead = ", ".join(
+            f"{d.node} ({d.reason}, {d.time_to_detect:.2f}s)"
+            for d in result.dead_peers
+        )
+        print(f"DEGRADED run         : lost {report.lost_messages} messages; dead: {dead}")
     if result.rtts:
         mean_rtt = sum(result.rtts) / len(result.rtts)
         print(f"mean ping-pong RTT   : {mean_rtt * 1e6:.2f} us (n={len(result.rtts)})")
@@ -349,6 +379,16 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "expose live cluster /metrics (Prometheus) and /status (JSON) "
             "over HTTP while the run is in flight, e.g. --serve :9464"
+        ),
+    )
+    live_run.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help=(
+            "chaos-inject the run: a scenario 'faults' block as inline JSON "
+            "or a path to a JSON file, e.g. "
+            "--chaos '{\"drop\": 0.05, \"disconnect\": {\"every\": 40}, \"seed\": 7}' "
+            "(overrides the scenario's own faults block)"
         ),
     )
     live_run.add_argument(

@@ -13,6 +13,10 @@ shapes:
   (segments per data packet).  Ratios above 1 mean the unmodified
   optimizing engine coalesced backlog that accumulated while the socket
   was busy — the paper's core effect, reproduced over a real transport.
+* **chaos recovery** — the same ping-pong under seeded wire loss and
+  periodic hard disconnects; reports retransmit work and verifies the
+  run still completes byte-identical (the failure model's acceptance
+  shape, measured rather than asserted).
 
 Wall-clock rates on loopback are scheduler-noisy, so ``--check`` gates
 *structure*, not speed: every payload byte verified, zero corruption,
@@ -39,6 +43,7 @@ from repro.live import LiveRunResult, run_live_scenario
 __all__ = [
     "RESULT_FILE",
     "aggregation_scenario",
+    "chaos_scenario",
     "pingpong_scenario",
     "run_suite",
     "check_structure",
@@ -93,6 +98,24 @@ def aggregation_scenario(per_flow: int) -> dict[str, Any]:
     }
 
 
+def chaos_scenario(count: int) -> dict[str, Any]:
+    """Ping-pong under seeded drop + periodic hard disconnects.
+
+    Light chaos (3% drop, a disconnect every 60 records) so the run
+    exercises retransmit/reconnect without drowning in RTO waits; the
+    seed pins the fault sequence run-to-run.
+    """
+    scenario = pingpong_scenario(count)
+    scenario["name"] = "live-bench-chaos"
+    scenario["faults"] = {
+        "drop": 0.03,
+        "disconnect": {"every": 60},
+        "seed": 11,
+        "reliability": {"max_retries": 12, "rto": 0.05, "backoff": 1.5},
+    }
+    return scenario
+
+
 def _pingpong_metrics(result: LiveRunResult) -> dict[str, float]:
     rtts = sorted(result.rtts)
     n = len(rtts)
@@ -117,6 +140,28 @@ def _aggregation_metrics(result: LiveRunResult) -> dict[str, float]:
         "aggregation/bytes_verified": float(result.bytes_verified),
         "aggregation/corrupt_slices": float(result.corrupt_slices),
         "aggregation/throughput_MBps": report.throughput / 1e6,
+    }
+
+
+def _chaos_metrics(result: LiveRunResult) -> dict[str, float]:
+    """Recovery health from a chaos-injected ping-pong run.
+
+    The invariant is the acceptance shape of the failure model: faults
+    visibly happened (drops, retransmits) and visibly did not matter
+    (every byte verified, zero corruption, nothing abandoned).
+    """
+    report = result.report
+    total = float(report.total_bytes)
+    return {
+        "chaos/messages": float(report.messages),
+        "chaos/total_bytes": total,
+        "chaos/bytes_verified": float(result.bytes_verified),
+        "chaos/verified_fraction": (result.bytes_verified / total) if total else 0.0,
+        "chaos/corrupt_slices": float(result.corrupt_slices),
+        "chaos/retransmits": float(report.retransmits),
+        "chaos/packets_dropped": float(report.packets_dropped),
+        "chaos/lost_messages": float(report.lost_messages),
+        "chaos/degraded": float(report.degraded),
     }
 
 
@@ -155,6 +200,10 @@ def run_suite(
         pingpong_scenario(5), transport=transport, timeout=timeout, trace=True
     )
     metrics.update(_traced_metrics(result))
+    result = run_live_scenario(
+        chaos_scenario(10 if quick else 30), transport=transport, timeout=timeout
+    )
+    metrics.update(_chaos_metrics(result))
     return metrics
 
 
@@ -186,6 +235,22 @@ def check_structure(metrics: dict[str, float]) -> list[str]:
             f"{metrics.get('traced/crossings_clamped', 0.0):.0f} crossings "
             "needed send>recv clamping: clock alignment failed"
         )
+    if metrics.get("chaos/verified_fraction", 0.0) != 1.0:
+        failures.append(
+            f"chaos run verified only "
+            f"{metrics.get('chaos/verified_fraction', 0.0):.4f} of its "
+            "bytes: recovery was not byte-identical"
+        )
+    if metrics.get("chaos/corrupt_slices", 0.0) != 0:
+        failures.append("chaos: corrupted payload slices reached an application")
+    if metrics.get("chaos/retransmits", 0.0) <= 0:
+        failures.append(
+            "chaos run saw no retransmits: the fault injector was inert"
+        )
+    if metrics.get("chaos/degraded", 0.0) != 0 or metrics.get(
+        "chaos/lost_messages", 0.0
+    ) != 0:
+        failures.append("chaos run degraded: wire faults alone lost messages")
     return failures
 
 

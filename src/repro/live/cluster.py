@@ -16,7 +16,19 @@ Control flow (JSON lines over each peer's stdin/stdout)::
                           == Σdone_sent, stable across two polls
     FLUSH   (poll)        with observability on: drain each peer's trace
                           spool + registry snapshot every poll
+    PEER_DOWN (broadcast) chaos runs only: a peer declared dead by the
+                          watchdog is announced to every survivor
     STOP    -> REPORT     per-peer records/counters; peers exit
+
+With a scenario ``"faults"`` block the run becomes a *chaos run*: wire
+faults are injected peer-side under a reliability envelope, and a
+:class:`~repro.live.liveness.PeerWatchdog` turns peer death (process
+exit, control-channel silence, heartbeat gossip) into graceful
+degradation — the dead peer's flows are abandoned cluster-wide, the
+counter-agreement check nets out its traffic (per-peer DONE breakdowns
+make both sides of the equation subtractable), and the merged report is
+marked ``degraded`` with ``lost_messages`` accounting.  Without faults,
+any peer death stays an immediate hard error.
 
 The merged report is assembled from receiver-side message records
 (each delivered message is recorded exactly once cluster-wide, at its
@@ -36,6 +48,7 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import shutil
 import subprocess
 import sys
@@ -45,6 +58,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.live.chaos import ChaosConfig
+from repro.live.liveness import DeadPeer, PeerWatchdog
 from repro.network.virtual import TrafficClass
 from repro.obs.merge import (
     MergedTrace,
@@ -85,6 +100,10 @@ class LiveRunResult:
     #: Cluster-level registry (every peer's metrics, ``peer``-labelled);
     #: None when the run carried no observability.
     cluster_registry: MetricsRegistry | None = None
+    #: Peers declared dead mid-run (empty on a clean run).  When
+    #: non-empty, ``report.degraded`` is True and the report merges only
+    #: the survivors' views.
+    dead_peers: list[DeadPeer] = field(default_factory=list)
 
     @property
     def bytes_verified(self) -> int:
@@ -110,6 +129,7 @@ class _ObsState:
         self._started = time.time()
         self._metrics_by_peer: dict[str, Mapping[str, Any]] = {}
         self._status: dict[str, Any] = {"phase": "starting"}
+        self._peers: dict[str, Any] = {"dead": [], "alive": []}
 
     def update_metrics(self, node: str, snapshot: Mapping[str, Any]) -> None:
         with self._lock:
@@ -118,6 +138,10 @@ class _ObsState:
     def update_status(self, **fields: Any) -> None:
         with self._lock:
             self._status.update(fields)
+
+    def update_peers(self, summary: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._peers = dict(summary)
 
     def metrics_text(self) -> str:
         with self._lock:
@@ -131,9 +155,26 @@ class _ObsState:
         out["uptime_s"] = time.time() - self._started
         return out
 
+    def peers(self) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._peers)
+
+
+#: Upper bound on one control round-trip.  A healthy peer answers in
+#: microseconds; a peer that takes longer than this is wedged (stuck
+#: event loop, paging storm) and the caller — watchdog or fail-fast —
+#: decides what that means.
+_REQUEST_TIMEOUT = 5.0
+
 
 class _Peer:
-    """One spawned peer process + its blocking line protocol."""
+    """One spawned peer process + its line protocol, with timeouts.
+
+    A daemon thread drains the peer's stdout into a queue so every
+    control request can block *with a deadline* — a wedged or killed
+    peer turns into a typed :class:`~repro.util.errors.TransportError`
+    carrying its stderr tail, never an indefinite coordinator hang.
+    """
 
     def __init__(self, rank: int, workdir: str, deadline: float) -> None:
         self.rank = rank
@@ -149,27 +190,88 @@ class _Peer:
             env=env,
             text=True,
         )
+        self._lines: queue.Queue[str | None] = queue.Queue()
+        self._reader = threading.Thread(target=self._drain_stdout, daemon=True)
+        self._reader.start()
 
-    def request(self, msg: dict[str, Any]) -> dict[str, Any]:
-        """Send one control message and block for its one-line response."""
+    def _drain_stdout(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            self._lines.put(line)
+        self._lines.put(None)  # EOF sentinel
+
+    def request(
+        self,
+        msg: dict[str, Any],
+        timeout: float | None = None,
+        expect: str | None = None,
+    ) -> dict[str, Any]:
+        """Send one control message and block for its response.
+
+        ``timeout`` bounds the wait (default :data:`_REQUEST_TIMEOUT`,
+        further clamped to the run deadline).  ``expect`` names the
+        reply type to wait for; replies of other types are discarded —
+        that is what resynchronizes the channel after an earlier request
+        timed out and its late reply is still queued.
+        """
         if self.proc.poll() is not None:
             raise TransportError(
                 f"peer {self.rank} exited early (rc={self.proc.returncode}): "
                 f"{self.stderr_tail()}"
             )
-        assert self.proc.stdin is not None and self.proc.stdout is not None
-        self.proc.stdin.write(json.dumps(msg) + "\n")
-        self.proc.stdin.flush()
-        line = self.proc.stdout.readline()
-        if not line:
+        assert self.proc.stdin is not None
+        try:
+            self.proc.stdin.write(json.dumps(msg) + "\n")
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError):
             raise TransportError(
-                f"peer {self.rank} closed its control channel "
+                f"peer {self.rank} control channel broken "
                 f"(rc={self.proc.poll()}): {self.stderr_tail()}"
-            )
-        reply = json.loads(line)
-        if reply.get("type") == "error":
-            raise TransportError(f"peer {self.rank} failed: {reply.get('error')}")
-        return reply
+            ) from None
+        return self.read_reply(timeout=timeout, expect=expect)
+
+    def read_reply(
+        self, timeout: float | None = None, expect: str | None = None
+    ) -> dict[str, Any]:
+        """Block for the next control reply (optionally of one type)."""
+        budget = _REQUEST_TIMEOUT if timeout is None else timeout
+        wait_deadline = min(time.time() + budget, self.deadline + budget)
+        while True:
+            remaining = wait_deadline - time.time()
+            if remaining <= 0:
+                raise TransportError(
+                    f"peer {self.rank} did not answer within {budget:.1f}s "
+                    f"(rc={self.proc.poll()}): {self.stderr_tail()}"
+                )
+            try:
+                line = self._lines.get(timeout=min(remaining, 0.5))
+            except queue.Empty:
+                if self.proc.poll() is not None and self._lines.empty():
+                    raise TransportError(
+                        f"peer {self.rank} exited "
+                        f"(rc={self.proc.returncode}): {self.stderr_tail()}"
+                    ) from None
+                continue
+            if line is None:
+                raise TransportError(
+                    f"peer {self.rank} closed its control channel "
+                    f"(rc={self.proc.poll()}): {self.stderr_tail()}"
+                )
+            try:
+                reply = json.loads(line)
+            except json.JSONDecodeError:
+                raise TransportError(
+                    f"peer {self.rank} sent a malformed control line "
+                    f"{line!r}: {self.stderr_tail()}"
+                ) from None
+            if reply.get("type") == "error":
+                raise TransportError(
+                    f"peer {self.rank} failed: {reply.get('error')}\n"
+                    f"stderr: {self.stderr_tail()}"
+                )
+            if expect is not None and reply.get("type") != expect:
+                continue  # stale reply from a timed-out earlier request
+            return reply
 
     def stderr_tail(self, limit: int = 2000) -> str:
         self._stderr_file.flush()
@@ -190,7 +292,12 @@ class _Peer:
         self._stderr_file.close()
 
 
-def _merge_report(peer_reports: list[dict[str, Any]]) -> tuple[SessionReport, list[MessageRecord]]:
+def _merge_report(
+    peer_reports: list[dict[str, Any]],
+    *,
+    degraded: bool = False,
+    lost_messages: int = 0,
+) -> tuple[SessionReport, list[MessageRecord]]:
     records: list[MessageRecord] = []
     for payload in peer_reports:
         for r in payload["records"]:
@@ -235,6 +342,11 @@ def _merge_report(peer_reports: list[dict[str, Any]]) -> tuple[SessionReport, li
     rdv = sum(p["engine"]["rdv_parked"] for p in peer_reports)
     rdv_timeouts = sum(p["engine"]["rdv_timeouts"] for p in peer_reports)
     failovers = sum(p["engine"]["failovers"] for p in peer_reports)
+    retransmits = sum(p["transport"].get("retransmits", 0) for p in peer_reports)
+    chaos_stats = [p["chaos"] for p in peer_reports if p.get("chaos")]
+    dropped = sum(c["drops"] for c in chaos_stats)
+    corrupted = sum(c["corruptions"] for c in chaos_stats)
+    duplicated = sum(c["duplicates"] for c in chaos_stats)
     elapsed = max((p["now"] for p in peer_reports), default=0.0) or 1.0
 
     report = SessionReport(
@@ -252,8 +364,14 @@ def _merge_report(peer_reports: list[dict[str, Any]]) -> tuple[SessionReport, li
         nic_utilization=busy / (nic_count * elapsed) if nic_count else 0.0,
         host_time=host,
         rdv_count=rdv,
+        retransmits=retransmits,
+        packets_dropped=dropped,
+        packets_corrupted=corrupted,
+        packets_duplicated=duplicated,
         failovers=failovers,
         rdv_timeouts=rdv_timeouts,
+        degraded=degraded,
+        lost_messages=lost_messages,
     )
     return report, records
 
@@ -285,7 +403,13 @@ class _ObsCollector:
         self.metrics_by_peer: dict[str, Mapping[str, Any]] = {}
         self.nodes: dict[int, str] = {}
 
-    def timed_request(self, peer: _Peer, msg: dict[str, Any]) -> dict[str, Any]:
+    def timed_request(
+        self,
+        peer: _Peer,
+        msg: dict[str, Any],
+        timeout: float | None = None,
+        expect: str | None = None,
+    ) -> dict[str, Any]:
         """A control round-trip that doubles as a clock-offset probe.
 
         Any reply carrying ``now`` (STATUS, FLUSH, REPORT) yields one
@@ -294,7 +418,7 @@ class _ObsCollector:
         clocks are (seconds past the epoch, divided by the time scale).
         """
         t0 = time.time()
-        reply = peer.request(msg)
+        reply = peer.request(msg, timeout=timeout, expect=expect)
         t1 = time.time()
         now = reply.get("now")
         node = self.nodes.get(peer.rank)
@@ -359,17 +483,28 @@ def run_live_scenario(
     ``serve`` (``"PORT"``/``":PORT"``/``"HOST:PORT"``) additionally
     exposes live cluster ``/metrics`` (Prometheus text) and ``/status``
     (JSON) for the duration of the run.
+
+    A scenario ``"faults"`` block arms chaos injection *and* the
+    coordinator watchdog: peers that die mid-run are declared dead,
+    announced to survivors (``peer_down``), and the run completes with
+    ``report.degraded`` set instead of raising.
     """
     if transport not in ("uds", "tcp"):
         raise ConfigurationError(f"live transport must be 'uds' or 'tcp', got {transport!r}")
-    if scenario.get("faults"):
-        raise ConfigurationError(
-            "live runs reject the 'faults' block: the socket transport is "
-            "already reliable, injected loss would be double-booked"
-        )
     n_nodes = int(scenario.get("cluster", {}).get("n_nodes", 2))
     if n_nodes < 2:
         raise ConfigurationError(f"a live run needs >= 2 nodes, got {n_nodes}")
+    # Parse chaos here too (the peers re-parse their own copy): the
+    # coordinator needs the failure-detection budget before any peer is
+    # spawned, and a malformed faults block should fail before fork.
+    chaos: ChaosConfig | None = None
+    if scenario.get("faults"):
+        cluster_seed = int(dict(scenario.get("cluster", {})).get("seed", 0))
+        chaos = ChaosConfig.from_spec(dict(scenario["faults"]), default_seed=cluster_seed)
+        if chaos.die is not None and chaos.die.rank >= n_nodes:
+            raise ConfigurationError(
+                f"faults die rank {chaos.die.rank} >= n_nodes {n_nodes}"
+            )
 
     obs_spec = dict(observability or {})
     if trace:
@@ -391,12 +526,15 @@ def run_live_scenario(
     server: ObsHTTPServer | None = None
     obs_state = _ObsState(str(scenario.get("name", "live")))
     try:
-        peers = [_Peer(rank, workdir, deadline) for rank in range(n_nodes)]
+        # Append as we spawn: if a later _Peer fails to construct, the
+        # finally-sweep still kills the children already forked.
+        for rank in range(n_nodes):
+            peers.append(_Peer(rank, workdir, deadline))
         epoch = time.time()
         obs = _ObsCollector(epoch, time_scale)
         if serve_host is not None:
             server = ObsHTTPServer(
-                obs_state.metrics_text, obs_state.status,
+                obs_state.metrics_text, obs_state.status, obs_state.peers,
                 host=serve_host, port=serve_port,
             )
             server.start()
@@ -431,52 +569,169 @@ def run_live_scenario(
             peer.proc.stdin.write(json.dumps(mesh_msg) + "\n")
             peer.proc.stdin.flush()
         for peer in peers:
-            assert peer.proc.stdout is not None
-            line = peer.proc.stdout.readline()
-            if not line:
-                raise TransportError(
-                    f"peer {peer.rank} died during mesh setup: {peer.stderr_tail()}"
-                )
-            reply = json.loads(line)
-            if reply.get("type") != "mesh_ok":
-                raise TransportError(f"peer {peer.rank} mesh failed: {reply}")
+            peer.read_reply(
+                timeout=max(deadline - time.time(), 1.0), expect="mesh_ok"
+            )
         for peer in peers:
-            peer.request({"type": "start"})
+            peer.request({"type": "start"}, expect="started")
         obs_state.update_status(phase="running", peers=len(peers))
+
+        # The watchdog only arms under chaos: a clean run keeps the old
+        # fail-fast contract (any peer death is an immediate error), a
+        # chaos run degrades instead of dying with its peers.
+        watchdog: PeerWatchdog | None = None
+        if chaos is not None:
+            watchdog = PeerWatchdog(dict(obs.nodes), dead_after=chaos.dead_after)
+        rank_of = {node: rank for rank, node in obs.nodes.items()}
+        peer_by_rank = {peer.rank: peer for peer in peers}
+
+        def alive_peers() -> list[_Peer]:
+            if watchdog is None:
+                return peers
+            dead = watchdog.dead
+            return [p for p in peers if p.rank not in dead]
 
         previous: tuple | None = None
         stable = 0
         while True:
             if time.time() > deadline:
                 tails = "; ".join(
-                    f"p{p.rank}: {p.stderr_tail(400)!r}" for p in peers
+                    f"p{p.rank}: {p.stderr_tail(400)!r}" for p in alive_peers()
                 )
                 raise TransportError(
                     f"live run exceeded its {timeout}s wall-clock budget "
                     f"without quiescing ({tails})"
                 )
-            statuses = [obs.timed_request(peer, {"type": "status"}) for peer in peers]
-            for peer, status in zip(peers, statuses):
+            statuses: dict[int, dict[str, Any]] = {}
+            for peer in alive_peers():
+                try:
+                    status = obs.timed_request(
+                        peer, {"type": "status"}, expect="status"
+                    )
+                except TransportError:
+                    if watchdog is None:
+                        raise
+                    rc = peer.proc.poll()
+                    if rc is not None:
+                        watchdog.note_exit(peer.rank, rc)
+                    else:
+                        watchdog.note_control_failure(peer.rank)
+                    continue
+                if watchdog is not None:
+                    watchdog.beat(peer.rank)
+                statuses[peer.rank] = status
+            for rank, status in statuses.items():
                 if status.get("fatal"):
                     raise TransportError(
-                        f"peer {peer.rank} hit a transport fault:\n{status['fatal']}"
+                        f"peer {rank} hit a transport fault:\n{status['fatal']}"
                     )
+            if watchdog is not None:
+                # A SIGKILLed peer never fails a request first: reap
+                # exits proactively so detection is one poll, not one
+                # timeout.
+                for peer in alive_peers():
+                    rc = peer.proc.poll()
+                    if rc is not None:
+                        watchdog.note_exit(peer.rank, rc)
+                # Worst survivor-reported silence per rank (gossip; the
+                # watchdog still requires direct contact loss too).
+                worst: dict[int, float] = {}
+                for status in statuses.values():
+                    for node, age in (status.get("hb_ages") or {}).items():
+                        rank = rank_of.get(str(node))
+                        if rank is not None:
+                            worst[rank] = max(worst.get(rank, 0.0), float(age))
+                for rank, age in worst.items():
+                    watchdog.note_heartbeat_age(rank, age)
+                newly_dead = watchdog.check()
+                for dead in newly_dead:
+                    print(
+                        f"[repro.live] peer {dead.rank} ({dead.node}) declared "
+                        f"dead ({dead.reason}, {dead.time_to_detect:.2f}s to "
+                        f"detect); degrading run",
+                        file=sys.stderr,
+                    )
+                    peer_by_rank[dead.rank].kill()
+                    for peer in alive_peers():
+                        try:
+                            peer.request(
+                                {"type": "peer_down", "nodes": [dead.node]},
+                                expect="peer_down_ok",
+                            )
+                        except TransportError:
+                            watchdog.note_control_failure(peer.rank)
+                if newly_dead:
+                    # Counter agreement must restart against the new
+                    # survivor set.
+                    previous = None
+                    stable = 0
+                    continue
             if flushing:
-                for peer in peers:
-                    obs.ingest_flush(obs.timed_request(peer, {"type": "flush"}))
+                for peer in alive_peers():
+                    try:
+                        obs.ingest_flush(
+                            obs.timed_request(
+                                peer, {"type": "flush"}, expect="flushed"
+                            )
+                        )
+                    except TransportError:
+                        if watchdog is None:
+                            raise
+                        watchdog.note_control_failure(peer.rank)
                 if server is not None:
                     for node, snapshot in obs.metrics_by_peer.items():
                         obs_state.update_metrics(node, snapshot)
-            submitted = sum(s["submitted"] for s in statuses)
-            done_rx = sum(s["done_received"] for s in statuses)
-            done_tx = sum(s["done_sent"] for s in statuses)
-            snapshot = (submitted, done_rx, done_tx)
-            quiet = all(s["quiet"] for s in statuses)
-            obs_state.update_status(
-                submitted=submitted, done_received=done_rx, done_sent=done_tx,
-                quiet=quiet,
+            dead_nodes = (
+                sorted(d.node for d in watchdog.dead.values())
+                if watchdog is not None
+                else []
             )
-            if quiet and submitted == done_rx == done_tx and snapshot == previous:
+            # Two agreement equations over the survivors:
+            #
+            # 1. Every submitted-and-not-abandoned message got exactly
+            #    one DONE back — from whoever received it, dead peers'
+            #    pre-death DONEs included:
+            #        Σ(submitted − abandoned) == Σ done_received
+            # 2. DONE traffic between survivors balances once each
+            #    side's exchanges with the dead are netted out (a DONE
+            #    sent *to* a dead peer was received by nobody alive; a
+            #    DONE received *from* one was sent by nobody alive):
+            #        Σ(done_sent − Σ_dead done_by_dst[d])
+            #     == Σ(done_received − Σ_dead done_rx_by_src[d])
+            #
+            # With no deaths both collapse to the original three-way
+            # submitted == done_received == done_sent check.
+            submitted = sum(
+                s["submitted"] - s.get("abandoned", 0) for s in statuses.values()
+            )
+            done_rx = sum(s["done_received"] for s in statuses.values())
+            done_rx_alive = done_rx - sum(
+                s.get("done_rx_by_src", {}).get(d, 0)
+                for s in statuses.values()
+                for d in dead_nodes
+            )
+            done_tx_alive = sum(
+                s["done_sent"]
+                - sum(s.get("done_by_dst", {}).get(d, 0) for d in dead_nodes)
+                for s in statuses.values()
+            )
+            expected_ranks = (
+                set(watchdog.alive()) if watchdog is not None
+                else set(peer_by_rank)
+            )
+            complete = set(statuses) == expected_ranks
+            snapshot = (submitted, done_rx, done_rx_alive, done_tx_alive, tuple(dead_nodes))
+            quiet = complete and all(s["quiet"] for s in statuses.values())
+            obs_state.update_status(
+                submitted=submitted, done_received=done_rx, done_sent=done_tx_alive,
+                quiet=quiet, dead=dead_nodes,
+            )
+            obs_state.update_peers(
+                watchdog.summary() if watchdog is not None
+                else {"dead": [], "alive": sorted(peer_by_rank)}
+            )
+            agree = submitted == done_rx and done_rx_alive == done_tx_alive
+            if quiet and agree and snapshot == previous:
                 stable += 1
                 if stable >= 2:
                     break
@@ -486,12 +741,39 @@ def run_live_scenario(
             time.sleep(_POLL_INTERVAL)
 
         obs_state.update_status(phase="stopping")
-        peer_reports = [obs.timed_request(peer, {"type": "stop"}) for peer in peers]
-        for peer in peers:
+        peer_reports = []
+        for peer in alive_peers():
+            try:
+                peer_reports.append(
+                    obs.timed_request(
+                        peer,
+                        {"type": "stop"},
+                        timeout=max(deadline - time.time(), 10.0),
+                        expect="report",
+                    )
+                )
+            except TransportError:
+                # A peer that quiesced but died before REPORT: degrade
+                # late rather than lose the survivors' reports.
+                if watchdog is None:
+                    raise
+                rc = peer.proc.poll()
+                if rc is not None:
+                    watchdog.note_exit(peer.rank, rc)
+                else:
+                    watchdog.note_control_failure(peer.rank)
+                watchdog.check()
+        if not peer_reports:
+            raise TransportError(
+                "no peer survived to produce a final report: "
+                + "; ".join(f"p{p.rank}: {p.stderr_tail(400)!r}" for p in peers)
+            )
+        for peer in alive_peers():
             try:
                 peer.proc.wait(timeout=5)
             except subprocess.TimeoutExpired:
                 peer.kill()
+        dead_peers = list(watchdog.dead.values()) if watchdog is not None else []
     finally:
         for peer in peers:
             peer.kill()
@@ -512,11 +794,33 @@ def run_live_scenario(
                 f"(spool overflow; seen={payload.get('trace_seen', '?')})",
                 file=sys.stderr,
             )
-    report, records = _merge_report(peer_reports)
+    lost_messages = sum(
+        p["transport"].get("abandoned", 0) for p in peer_reports
+    )
+    report, records = _merge_report(
+        peer_reports, degraded=bool(dead_peers), lost_messages=lost_messages
+    )
     for payload in peer_reports:
         obs.ingest_report(payload)
     merged = obs.merge()
     events = [event_to_dict(e) for e in merged.events]
+    if dead_peers and obs.metrics_by_peer:
+        # Death accounting lives with the authority that declared it:
+        # a pseudo-peer snapshot, so /metrics and obs diff see it with
+        # the same peer-labelled shape as everything else.
+        coord = MetricsRegistry()
+        for dead in dead_peers:
+            coord.counter(
+                "repro_peer_deaths_total",
+                {"reason": dead.reason},
+                help="Peers declared dead by the coordinator watchdog",
+            ).inc()
+            coord.histogram(
+                "repro_peer_time_to_detect_seconds",
+                help="Silence-to-declaration latency per declared death",
+                base=0.01, growth=2.0, n_buckets=16,
+            ).observe(dead.time_to_detect)
+        obs.metrics_by_peer["coordinator"] = coord.to_snapshot()
     cluster_registry = (
         merge_registries(obs.metrics_by_peer) if obs.metrics_by_peer else None
     )
@@ -537,4 +841,5 @@ def run_live_scenario(
         crossings_matched=merged.crossings_matched,
         crossings_clamped=merged.crossings_clamped,
         cluster_registry=cluster_registry,
+        dead_peers=dead_peers,
     )

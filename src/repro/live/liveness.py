@@ -1,0 +1,249 @@
+"""Peer liveness: heartbeats, failure detection, reconnect backoff.
+
+Three small, separately testable pieces:
+
+* :class:`Backoff` — exponential redial delays with seeded jitter, so a
+  flapping connection never turns into a synchronized reconnect storm
+  and tests still get reproducible delay sequences;
+* :class:`HeartbeatLedger` — peer-side per-neighbor last-seen tracking
+  fed by ``hb`` transport frames; a neighbor is *stale* once its
+  silence exceeds the configured miss budget;
+* :class:`PeerWatchdog` — coordinator-side failure detector combining
+  process exit, control round-trip failures, and peer-reported
+  heartbeat gaps into :class:`DeadPeer` declarations with
+  time-to-detect accounting.
+
+Detection and reaction are deliberately split across processes: peers
+only *observe* (heartbeat ages ride the STATUS reply), the coordinator
+*declares* (it alone sees process exit codes and the whole mesh), and
+the surviving peers *react* when the coordinator broadcasts
+``peer_down`` — a single authority, so two peers can never disagree
+about who is dead.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Backoff", "HeartbeatLedger", "DeadPeer", "PeerWatchdog"]
+
+
+class Backoff:
+    """Exponential backoff with seeded multiplicative jitter.
+
+    ``next()`` yields ``base * factor**attempt`` clamped to ``maximum``,
+    scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``.
+    ``reset()`` re-arms after a successful connection.
+    """
+
+    __slots__ = ("base", "factor", "maximum", "jitter", "attempt", "_rng")
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        maximum: float = 1.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or maximum < base or not 0 <= jitter < 1:
+            raise ConfigurationError(
+                f"invalid backoff (base={base}, factor={factor}, "
+                f"maximum={maximum}, jitter={jitter})"
+            )
+        self.base = base
+        self.factor = factor
+        self.maximum = maximum
+        self.jitter = jitter
+        self.attempt = 0
+        self._rng = random.Random(seed)
+
+    def next(self) -> float:
+        """Delay before the next attempt (advances the attempt count)."""
+        delay = min(self.base * self.factor**self.attempt, self.maximum)
+        self.attempt += 1
+        scale = 1.0 + self.jitter * self._rng.uniform(-1.0, 1.0)
+        return max(delay * scale, 1e-3)
+
+    def reset(self) -> None:
+        """Call after a successful attempt."""
+        self.attempt = 0
+
+
+class HeartbeatLedger:
+    """Per-neighbor last-seen times on one peer.
+
+    Any traffic counts as life — the hub records data and ACK arrivals
+    too, so a busy link never needs dedicated beacons to stay fresh.
+    """
+
+    __slots__ = ("dead_after", "_last_seen")
+
+    def __init__(self, dead_after: float) -> None:
+        self.dead_after = dead_after
+        self._last_seen: dict[str, float] = {}
+
+    def record(self, node: str, now: float) -> None:
+        """Note contact with ``node`` — any traffic counts as life."""
+        self._last_seen[node] = now
+
+    def age(self, node: str, now: float) -> float | None:
+        """Seconds since last contact, or None if never heard from."""
+        seen = self._last_seen.get(node)
+        return None if seen is None else max(now - seen, 0.0)
+
+    def stale(self, node: str, now: float) -> bool:
+        """True when ``node`` has been silent for over ``dead_after``."""
+        age = self.age(node, now)
+        return age is not None and age > self.dead_after
+
+    def ages(self, now: float) -> dict[str, float]:
+        """Snapshot of every neighbor's silence, for STATUS replies."""
+        return {node: max(now - seen, 0.0) for node, seen in self._last_seen.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class DeadPeer:
+    """One declared peer death."""
+
+    rank: int
+    node: str
+    reason: str  #: "exit" | "control" | "heartbeat"
+    detected_at: float
+    last_seen: float
+
+    @property
+    def time_to_detect(self) -> float:
+        """Silence-to-declaration latency (the metric the watchdog owns)."""
+        return max(self.detected_at - self.last_seen, 0.0)
+
+
+@dataclass(slots=True)
+class _PeerHealth:
+    last_ok: float
+    exit_code: int | None = None
+    control_failures: int = 0
+    hb_age: float = 0.0
+
+
+class PeerWatchdog:
+    """Coordinator-side failure detector over the whole mesh.
+
+    Fed from the poll loop: :meth:`beat` on every successful control
+    round-trip, :meth:`note_exit` when a peer process is reaped,
+    :meth:`note_control_failure` when a request times out or errors,
+    :meth:`note_heartbeat_age` with the worst peer-reported silence for
+    a rank.  :meth:`check` returns *newly* dead peers exactly once.
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[int, str],
+        *,
+        dead_after: float,
+        control_failure_budget: int = 2,
+        clock=time.monotonic,
+    ) -> None:
+        if dead_after <= 0:
+            raise ConfigurationError(f"dead_after must be > 0, got {dead_after}")
+        self.dead_after = dead_after
+        self.control_failure_budget = control_failure_budget
+        self._clock = clock
+        now = clock()
+        self._health: dict[int, _PeerHealth] = {
+            rank: _PeerHealth(last_ok=now) for rank in nodes
+        }
+        self._nodes = dict(nodes)
+        self._dead: dict[int, DeadPeer] = {}
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def beat(self, rank: int) -> None:
+        """Record a successful control round-trip; clears failures."""
+        health = self._health.get(rank)
+        if health is not None and rank not in self._dead:
+            health.last_ok = self._clock()
+            health.control_failures = 0
+
+    def note_exit(self, rank: int, code: int | None) -> None:
+        """Record that the peer process was reaped (None → -1)."""
+        health = self._health.get(rank)
+        if health is not None:
+            health.exit_code = code if code is not None else -1
+
+    def note_control_failure(self, rank: int) -> None:
+        """Count one failed control request against the rank's budget."""
+        health = self._health.get(rank)
+        if health is not None:
+            health.control_failures += 1
+
+    def note_heartbeat_age(self, rank: int, age: float) -> None:
+        """Worst silence any *survivor* reports about this rank's node."""
+        health = self._health.get(rank)
+        if health is not None:
+            health.hb_age = age
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    def check(self) -> list[DeadPeer]:
+        """Declare and return peers that died since the last call."""
+        now = self._clock()
+        fresh: list[DeadPeer] = []
+        for rank, health in self._health.items():
+            if rank in self._dead:
+                continue
+            reason = None
+            if health.exit_code is not None:
+                reason = "exit"
+            elif health.control_failures >= self.control_failure_budget:
+                reason = "control"
+            elif (
+                health.hb_age > self.dead_after
+                and now - health.last_ok > self.dead_after
+            ):
+                # Heartbeat gossip alone is not enough: the coordinator
+                # must also have lost direct contact, or a one-sided
+                # socket failure would kill a healthy peer.
+                reason = "heartbeat"
+            if reason is not None:
+                dead = DeadPeer(
+                    rank=rank,
+                    node=self._nodes.get(rank, f"rank{rank}"),
+                    reason=reason,
+                    detected_at=now,
+                    last_seen=health.last_ok,
+                )
+                self._dead[rank] = dead
+                fresh.append(dead)
+        return fresh
+
+    @property
+    def dead(self) -> dict[int, DeadPeer]:
+        """All declared deaths so far (rank → declaration)."""
+        return dict(self._dead)
+
+    def alive(self) -> list[int]:
+        """Ranks not (yet) declared dead, in rank order."""
+        return [rank for rank in self._health if rank not in self._dead]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready view for reports and the /peers endpoint."""
+        return {
+            "dead": [
+                {
+                    "rank": d.rank,
+                    "node": d.node,
+                    "reason": d.reason,
+                    "time_to_detect": d.time_to_detect,
+                }
+                for d in self._dead.values()
+            ],
+            "alive": self.alive(),
+        }

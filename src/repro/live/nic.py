@@ -125,8 +125,10 @@ class LiveNIC(NIC):
             packet.meta[META_CORR] = corr
             packet.meta[META_SENT_AT] = self._sim.now
             packet.meta[META_VIA] = self.name
-        data = encode_live_packet(packet)  # encode before flipping state:
-        # a serialization error must leave the NIC idle and usable.
+        # Bare wire-codec frame: the hub owns record framing (plain
+        # length prefix, or the reliability envelope under chaos).
+        data = encode_live_packet(packet, wrap=False)  # encode before flipping
+        # state: a serialization error must leave the NIC idle and usable.
 
         self._busy = True
         self.stats.requests += 1

@@ -88,13 +88,18 @@ class PeerClusterAdapter:
     observing half a peer.
     """
 
-    def __init__(self, clock: "LiveClock", engine, node, reassembler) -> None:
+    def __init__(
+        self, clock: "LiveClock", engine, node, reassembler, transport=None
+    ) -> None:
         self.sim = clock
         self.engines = {engine.node_name: engine}
         self.fabric = _Fabric(node)
-        #: No simulated reliability layer exists live — TCP/UDS is the
-        #: reliability layer — so retransmit gauges read 0 by design.
-        self.transport = None
+        #: The peer's socket hub when chaos/reliability is active — it
+        #: exposes the same ``stats.retransmits`` / ``in_flight`` surface
+        #: the simulated :class:`~repro.network.reliable.ReliableTransport`
+        #: does.  Without chaos the plain TCP/UDS stream *is* the
+        #: reliability layer and the gauges read 0 by design.
+        self.transport = transport
         self.reassemblers = {node.name: reassembler}
 
 

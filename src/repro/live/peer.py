@@ -49,6 +49,7 @@ from repro.madeleine.api import MadAPI
 from repro.madeleine.message import Flow, Message
 from repro.madeleine.rx import MessageReassembler
 from repro.network.fabric import Node
+from repro.network.reliable import ReceiveLedger, SendWindow, TransportStats
 from repro.network.technologies import TECHNOLOGIES
 from repro.network.virtual import TrafficClass
 from repro.network.wire import META_CORR, META_SENT_AT, META_VIA
@@ -58,15 +59,21 @@ from repro.util.errors import ConfigurationError, ProtocolError
 from repro.util.rng import SeedSequenceRegistry
 from repro.util.tracing import Tracer, event_to_dict
 
+from repro.live.chaos import ChaosConfig, ChaosInjector
+from repro.live.liveness import Backoff, HeartbeatLedger
 from repro.live.loop import LiveClock
 from repro.live.nic import LiveNIC
 from repro.live.observe import LiveSampler, PeerClusterAdapter, SpoolSink
 from repro.live.transport import (
     MirrorReceiver,
     StreamDecoder,
+    ack_frame,
     done_frame,
+    heartbeat_frame,
     hello_frame,
     live_ctrl_kind,
+    wrap_envelope,
+    wrap_frame,
 )
 
 __all__ = ["LivePeer", "main"]
@@ -84,9 +91,27 @@ def _node_names(n: int) -> list[str]:
     return [f"n{i}" for i in range(n)]
 
 
+def _outage_matches(outage, nic) -> bool:
+    """Whether one scheduled outage targets one local live NIC.
+
+    Live NICs are named ``<node>.<tech><net_index><nic_index>`` (e.g.
+    ``n0.mx00``); an outage's ``nic`` must match the full name, while
+    ``network`` matches the sim-plane network prefix (``mx0`` hits
+    ``n0.mx00`` and ``n0.mx01`` on every node).
+    """
+    if outage.nic is not None:
+        return nic.name == outage.nic
+    _node, tech_part = nic.name.split(".", 1)
+    return tech_part.startswith(str(outage.network))
+
+
 # --------------------------------------------------------------------------
 # socket hub: the peer's connections to every other peer
 # --------------------------------------------------------------------------
+
+
+class _ChaosDisconnect(Exception):
+    """Deliberate chaos-injected hard close of one connection."""
 
 
 class _Connection:
@@ -97,6 +122,13 @@ class _Connection:
     NIC submits enqueue ``(bytes, on_drained)`` and the pump invokes the
     callback once the kernel accepted every byte (write-buffer high-water
     mark is 0, so ``drain`` returning *means* drained).
+
+    Connections are disposable: any socket error, EOF, or injected
+    disconnect routes through :meth:`Hub.conn_failed`, which flushes
+    every queued write (releasing the NICs that are waiting on drains)
+    and lets the owning link decide whether to redial.  ``counted``
+    distinguishes run traffic (blocks quiescence until drained) from
+    liveness beacons (heartbeats must never hold a quiet verdict open).
     """
 
     def __init__(self, hub: "Hub", reader, writer, name: str | None) -> None:
@@ -104,8 +136,12 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.name = name  # peer node name; None until its HELLO arrives
-        self.decoder = StreamDecoder()
-        self.outbound: deque[tuple[bytes, Callable[[], None] | None]] = deque()
+        self.decoder = StreamDecoder(envelope=hub.envelope, tolerant=hub.envelope)
+        self.outbound: deque[tuple[bytes | None, Callable[[], None] | None, bool]] = (
+            deque()
+        )
+        self.failed = False
+        self._current: tuple[Callable[[], None] | None, bool] | None = None
         self._wake = asyncio.Event()
         writer.transport.set_write_buffer_limits(0)
         self._tasks = [
@@ -113,10 +149,25 @@ class _Connection:
             asyncio.ensure_future(self._read()),
         ]
 
-    def enqueue(self, data: bytes, on_drained: Callable[[], None] | None) -> None:
-        self.outbound.append((data, on_drained))
-        self.hub.writes_in_flight += 1
+    def enqueue(
+        self,
+        data: bytes,
+        on_drained: Callable[[], None] | None,
+        counted: bool = True,
+    ) -> None:
+        if self.failed:
+            self.hub.flush_write(on_drained)
+            return
+        self.outbound.append((data, on_drained, counted))
+        if counted:
+            self.hub.writes_in_flight += 1
         self._wake.set()
+
+    def request_close(self) -> None:
+        """Chaos disconnect: hard-close once everything queued so far is out."""
+        if not self.failed:
+            self.outbound.append((None, None, False))
+            self._wake.set()
 
     async def _pump(self) -> None:
         try:
@@ -124,35 +175,64 @@ class _Connection:
                 while not self.outbound:
                     self._wake.clear()
                     await self._wake.wait()
-                data, on_drained = self.outbound.popleft()
+                data, on_drained, counted = self.outbound.popleft()
+                if data is None:
+                    raise _ChaosDisconnect
+                self._current = (on_drained, counted)
                 self.writer.write(data)
                 await self.writer.drain()
                 self.hub.bytes_tx += len(data)
                 self.hub.clock.refresh()
-                self.hub.writes_in_flight -= 1
+                if counted:
+                    self.hub.writes_in_flight -= 1
+                self._current = None
                 if on_drained is not None:
                     on_drained()
-        except (ConnectionError, asyncio.CancelledError):
+        except asyncio.CancelledError:
             pass
+        except (_ChaosDisconnect, ConnectionError, OSError):
+            self.hub.conn_failed(self)
         except Exception:  # pragma: no cover - surfaced via STATUS
             self.hub.note_fatal(traceback.format_exc())
+            self.hub.conn_failed(self)
 
     async def _read(self) -> None:
         try:
             while True:
                 chunk = await self.reader.read(_READ_CHUNK)
                 if not chunk:
+                    self.hub.conn_failed(self)
                     return
                 self.hub.bytes_rx += len(chunk)
                 self.hub.clock.refresh()
-                for frame in self.decoder.feed(chunk):
-                    self.hub.handle_frame(frame, self)
-        except (ConnectionError, asyncio.CancelledError):
+                self.hub.ingest(self, self.decoder.feed(chunk))
+        except asyncio.CancelledError:
             pass
+        except (ConnectionError, OSError):
+            self.hub.conn_failed(self)
         except Exception:  # pragma: no cover - surfaced via STATUS
             self.hub.note_fatal(traceback.format_exc())
+            self.hub.conn_failed(self)
 
-    def close(self) -> None:
+    def abort(self) -> None:
+        """Flush every queued write and release the socket.  Idempotent."""
+        if self.failed:
+            return
+        self.failed = True
+        if self._current is not None:
+            on_drained, counted = self._current
+            self._current = None
+            if counted:
+                self.hub.writes_in_flight -= 1
+            self.hub.flush_write(on_drained)
+        while self.outbound:
+            data, on_drained, counted = self.outbound.popleft()
+            if data is None:
+                continue
+            if counted:
+                self.hub.writes_in_flight -= 1
+            self.hub.flush_write(on_drained)
+        self.hub.corrupt_frames_closed += self.decoder.corrupt_frames
         for task in self._tasks:
             task.cancel()
         try:
@@ -160,20 +240,108 @@ class _Connection:
         except Exception:  # pragma: no cover - teardown best-effort
             pass
 
+    # Legacy teardown name (Hub.close and tests call it).
+    close = abort
+
+
+class _Unacked:
+    """Sender-side state for one enveloped record awaiting its ACK."""
+
+    __slots__ = ("frame", "attempts", "timer")
+
+    def __init__(self, frame: bytes) -> None:
+        self.frame = frame  # bare wire-codec frame (re-enveloped per attempt)
+        self.attempts = 0
+        self.timer = None  # armed LiveEvent for the retransmit timeout
+
+
+class _Link:
+    """The durable relationship with one peer node.
+
+    Connections are transient — chaos closes them, peers die and come
+    back — but the link persists: it owns the reliability window and
+    ledger (whose sequence space spans reconnects), the chaos injector
+    for the outbound direction, and the redial backoff.  Exactly one
+    side of each pair redials (``dial`` — the higher rank, matching the
+    MESH bring-up direction) so a flap never produces crossed dials.
+    """
+
+    __slots__ = (
+        "name",
+        "rank",
+        "dial",
+        "endpoint",
+        "conn",
+        "dead",
+        "ever_connected",
+        "window",
+        "ledger",
+        "injector",
+        "backoff",
+        "redial_handle",
+    )
+
+    def __init__(self, name: str, rank: int, dial: bool) -> None:
+        self.name = name
+        self.rank = rank
+        self.dial = dial
+        self.endpoint: dict[str, Any] | None = None
+        self.conn: _Connection | None = None
+        self.dead = False
+        self.ever_connected = False
+        self.window = SendWindow()
+        self.ledger = ReceiveLedger()
+        self.injector: ChaosInjector | None = None
+        self.backoff: Backoff | None = None
+        self.redial_handle = None
+
+    @property
+    def writable(self) -> bool:
+        return self.conn is not None and not self.conn.failed
+
 
 class Hub:
-    """All-to-all socket mesh plus sender-side delivery bookkeeping."""
+    """All-to-all socket mesh plus sender-side delivery bookkeeping.
 
-    def __init__(self, clock: LiveClock, node_name: str, rank: int, deliver) -> None:
+    With a :class:`~repro.live.chaos.ChaosConfig` whose wire faults are
+    active, every record crosses in the reliability envelope
+    (:func:`~repro.live.transport.wrap_envelope`): sequenced data/DONE
+    records are retransmitted on RTO until ACKed and deduplicated /
+    reordered on receive, so injected drops, corruption, duplication and
+    disconnects still yield byte-identical delivery.  Without chaos the
+    legacy plain framing is used unchanged — TCP/UDS loopback is already
+    reliable and the envelope would be pure overhead.
+    """
+
+    def __init__(
+        self,
+        clock: LiveClock,
+        node_name: str,
+        rank: int,
+        deliver,
+        names: list[str] | None = None,
+        chaos: "ChaosConfig | None" = None,
+    ) -> None:
         self.clock = clock
         self.node_name = node_name
         self.rank = rank
         self._deliver = deliver  # deliver(frame): engine/data traffic
-        self._conns: dict[str, _Connection] = {}
+        self.chaos = chaos
+        self.envelope = chaos is not None and chaos.wire_active
+        self.links: dict[str, _Link] = {}
+        for peer_rank, name in enumerate(names or []):
+            if name == node_name:
+                continue
+            link = _Link(name, peer_rank, dial=rank > peer_rank)
+            if chaos is not None:
+                link.injector = ChaosInjector(chaos, f"{node_name}->{name}")
+                link.backoff = Backoff(seed=chaos.seed * 1009 + rank * 37 + peer_rank)
+            self.links[name] = link
         self._anonymous: list[_Connection] = []
         self._mesh_ready = asyncio.Event()
         self._expected: set[str] = set()
         self._server = None
+        self.closing = False
         self.writes_in_flight = 0
         self.bytes_tx = 0
         self.bytes_rx = 0
@@ -182,12 +350,44 @@ class Hub:
         self.submitted = 0
         self.done_sent = 0
         self.done_received = 0
+        #: DONE acknowledgements sent/received, broken down by the far
+        #: peer — the coordinator subtracts a dead peer's share from
+        #: both sides when checking counter agreement on a degraded run.
+        self.done_by_dst: dict[str, int] = {}
+        self.done_rx_by_src: dict[str, int] = {}
+        self.stats = TransportStats()
+        self.hb = HeartbeatLedger(chaos.dead_after) if chaos is not None else None
+        self.heartbeats_sent = 0
+        self.reconnects = 0
+        self.disconnects = 0
+        self.lost_frames = 0  # legacy framing only: writes on a dead conn
+        self.corrupt_frames_closed = 0
+        self.abandoned = 0  # messages whose destination peer died
+        self.abandoned_frames = 0
+        self.blackholed = 0  # packets addressed to a declared-dead peer
+        self.done_suppressed = 0
+        self.dead_nodes: set[str] = set()
+        self._hb_handle = None
         self.fatal: str | None = None
 
     def note_fatal(self, text: str) -> None:
         """Record the first transport fault; surfaced via STATUS polls."""
         if self.fatal is None:
             self.fatal = text
+
+    def flush_write(self, on_drained: Callable[[], None] | None) -> None:
+        """Release one queued write whose bytes will never be sent.
+
+        Always deferred via ``call_soon``: the callback re-enters the
+        engine (NIC idle → next dispatch) and must never run inside the
+        submit path that enqueued the write.
+        """
+        if on_drained is not None:
+            self.clock._loop.call_soon(self._release_write, on_drained)
+
+    def _release_write(self, on_drained: Callable[[], None]) -> None:
+        self.clock.refresh()
+        on_drained()
 
     # -- server / mesh -------------------------------------------------
     async def serve(self, transport: str, workdir: str) -> dict[str, Any]:
@@ -205,58 +405,335 @@ class Hub:
     def _on_accept(self, reader, writer) -> None:
         self._anonymous.append(_Connection(self, reader, writer, None))
 
+    def _wrap_raw(self, frame: bytes) -> bytes:
+        """Record framing for an unsequenced transport-control frame."""
+        return wrap_envelope(frame) if self.envelope else wrap_frame(frame)
+
+    async def _open(self, endpoint: dict[str, Any]):
+        if endpoint["kind"] == "uds":
+            return await asyncio.open_unix_connection(endpoint["path"])
+        return await asyncio.open_connection(endpoint["host"], endpoint["port"])
+
     async def connect(self, peer_name: str, endpoint: dict[str, Any]) -> None:
         """Dial one peer's endpoint and introduce ourselves with a HELLO."""
-        if endpoint["kind"] == "uds":
-            reader, writer = await asyncio.open_unix_connection(endpoint["path"])
-        else:
-            reader, writer = await asyncio.open_connection(
-                endpoint["host"], endpoint["port"]
-            )
+        link = self.links[peer_name]
+        link.endpoint = endpoint
+        reader, writer = await self._open(endpoint)
         conn = _Connection(self, reader, writer, peer_name)
         self._register(peer_name, conn)
-        conn.enqueue(hello_frame(self.node_name, self.rank), None)
+        conn.enqueue(
+            self._wrap_raw(hello_frame(self.node_name, self.rank, wrap=False)),
+            None,
+            counted=False,
+        )
 
     def _register(self, name: str, conn: _Connection) -> None:
+        link = self.links.get(name)
+        if link is None:
+            raise ProtocolError(f"connection from unknown peer {name!r}")
         conn.name = name
-        existing = self._conns.get(name)
-        if existing is not None and existing is not conn:
-            raise ProtocolError(f"duplicate connection from peer {name!r}")
-        self._conns[name] = conn
-        if self._expected and self._expected.issubset(self._conns):
+        if conn in self._anonymous:
+            self._anonymous.remove(conn)
+        if link.dead:
+            conn.abort()
+            return
+        old = link.conn
+        if old is not None and old is not conn:
+            if self.chaos is None:
+                raise ProtocolError(f"duplicate connection from peer {name!r}")
+            # Newest wins: the far side gave up on the old socket.
+            link.conn = None
+            old.abort()
+        link.conn = conn
+        if link.ever_connected and old is not conn:
+            self.reconnects += 1
+        link.ever_connected = True
+        if link.backoff is not None:
+            link.backoff.reset()
+        if self._expected and all(
+            self.links[n].writable or self.links[n].dead for n in self._expected
+        ):
             self._mesh_ready.set()
 
     async def await_mesh(self, expected: set[str]) -> None:
         """Block until a connection to every expected peer is identified."""
         self._expected = set(expected)
-        if self._expected.issubset(self._conns):
+        if all(self.links[n].writable or self.links[n].dead for n in self._expected):
             return
         await self._mesh_ready.wait()
 
+    # -- connection failure / redial -----------------------------------
+    def conn_failed(self, conn: _Connection) -> None:
+        """One socket died (EOF, error, or injected disconnect).
+
+        Flush its queued writes, detach it from its link, and — when
+        chaos is active and this side is the dialer — start the backoff
+        redial loop.  Without chaos a lost connection is terminal for
+        the pair but silent: teardown closes connections in STOP order,
+        so survivors routinely see EOFs that mean "run over", not
+        "peer crashed"; the coordinator's watchdog owns that distinction.
+        """
+        if conn.failed:
+            conn.abort()  # no-op, keeps idempotence obvious
+            return
+        conn.abort()
+        if conn in self._anonymous:
+            self._anonymous.remove(conn)
+            return
+        link = self.links.get(conn.name) if conn.name is not None else None
+        if link is None or link.conn is not conn:
+            return
+        link.conn = None
+        self.disconnects += 1
+        if self.closing or link.dead or self.chaos is None:
+            return
+        if link.dial and link.endpoint is not None:
+            self._schedule_redial(link)
+
+    def _schedule_redial(self, link: _Link) -> None:
+        if link.redial_handle is not None or link.dead or self.closing:
+            return
+        delay = link.backoff.next() if link.backoff is not None else 0.05
+        # Raw loop timer: redial pacing is wall-clock and must not block
+        # quiescence (the unacked windows already do, meaningfully).
+        link.redial_handle = self.clock._loop.call_later(
+            delay, self._start_redial, link
+        )
+
+    def _start_redial(self, link: _Link) -> None:
+        link.redial_handle = None
+        if link.dead or self.closing or link.writable:
+            return
+        asyncio.ensure_future(self._redial(link))
+
+    async def _redial(self, link: _Link) -> None:
+        try:
+            reader, writer = await self._open(link.endpoint)
+        except OSError:
+            self._schedule_redial(link)
+            return
+        if link.dead or self.closing or link.writable:
+            writer.close()
+            return
+        conn = _Connection(self, reader, writer, link.name)
+        self._register(link.name, conn)
+        conn.enqueue(
+            self._wrap_raw(hello_frame(self.node_name, self.rank, wrap=False)),
+            None,
+            counted=False,
+        )
+
     # -- sending -------------------------------------------------------
     def send_packet(self, packet, data: bytes, on_drained) -> None:
-        """NIC path: ship one engine packet to its destination peer."""
-        conn = self._conns.get(packet.dst)
-        if conn is None:
+        """NIC path: ship one engine packet to its destination peer.
+
+        ``data`` is the bare wire-codec frame; the hub owns record
+        framing (plain length prefix, or the reliability envelope when
+        chaos is active).
+        """
+        link = self.links.get(packet.dst)
+        if link is None:
             raise ProtocolError(
                 f"no live connection from {self.node_name!r} to {packet.dst!r}"
             )
+        if link.dead:
+            # Declared-dead destination: the flow is abandoned, the NIC
+            # must still drain or the engine wedges behind it.
+            self.blackholed += 1
+            self.flush_write(on_drained)
+            return
         for segment in packet.segments:
             message = segment.payload.message
             if message.message_id not in self.sent_messages:
                 self.sent_messages[message.message_id] = message
                 self.submitted += 1
-        conn.enqueue(data, on_drained)
+        if self.envelope:
+            self._ship(link, data, on_drained)
+            return
+        if not link.writable:
+            if not link.ever_connected:
+                raise ProtocolError(
+                    f"no live connection from {self.node_name!r} to {packet.dst!r}"
+                )
+            # Legacy framing has no retransmit: the bytes are simply
+            # gone.  Counted loudly; counter agreement will stall and
+            # the coordinator's deadline or watchdog decides.
+            self.lost_frames += 1
+            self.flush_write(on_drained)
+            return
+        link.conn.enqueue(wrap_frame(data), on_drained)
 
     def send_done(self, dst: str, message_id: int, when: float) -> None:
         """Acknowledge a completed delivery back to its sender."""
-        conn = self._conns.get(dst)
-        if conn is None:
+        link = self.links.get(dst)
+        if link is None:
             raise ProtocolError(f"cannot acknowledge to unknown peer {dst!r}")
+        if link.dead:
+            self.done_suppressed += 1
+            return
         self.done_sent += 1
-        conn.enqueue(done_frame(self.node_name, dst, [(message_id, when)]), None)
+        self.done_by_dst[dst] = self.done_by_dst.get(dst, 0) + 1
+        frame = done_frame(self.node_name, dst, [(message_id, when)], wrap=False)
+        if self.envelope:
+            self._ship(link, frame, None)
+            return
+        if not link.writable:
+            self.lost_frames += 1
+            return
+        link.conn.enqueue(wrap_frame(frame), None)
+
+    # -- reliability: envelope ship / retransmit / ack ------------------
+    def _ship(self, link: _Link, frame: bytes, on_drained) -> None:
+        """Stamp one frame into the link's sequence space and transmit."""
+        entry = _Unacked(frame)
+        seq = link.window.stamp(entry)
+        self.stats.packets_sent += 1
+        self._transmit(link, seq, entry, on_drained)
+
+    def _transmit(self, link: _Link, seq: int, entry: _Unacked, on_drained=None) -> None:
+        """One transmission attempt: chaos lottery, then the socket.
+
+        The retransmit timer is armed *unconditionally* first — through
+        the live clock, so an unacked record holds quiescence open — and
+        covers the disconnected case too: while the link is down the
+        record just waits for the timer, and a post-reconnect RTO
+        re-ships it.  ``on_drained`` (NIC release) fires on the first
+        attempt whatever the verdict; a dropped record still occupied
+        the modeled rail.
+        """
+        entry.timer = self.clock.schedule(
+            self.chaos.rto_for(entry.attempts), self._on_rto, link, seq
+        )
+        conn = link.conn
+        if conn is None or conn.failed:
+            self.flush_write(on_drained)
+            return
+        entry.attempts += 1
+        verdict = link.injector.judge()
+        if verdict.drop:
+            self.flush_write(on_drained)
+        else:
+            record = wrap_envelope(entry.frame, seq)
+            if verdict.corrupt:
+                record = link.injector.corrupt_record(record)
+            if verdict.delay > 0:
+                self._enqueue_delayed(conn, record, on_drained, verdict.delay)
+            else:
+                conn.enqueue(record, on_drained)
+            if verdict.duplicate:
+                dup = wrap_envelope(entry.frame, seq)
+                if verdict.dup_delay > 0:
+                    self._enqueue_delayed(conn, dup, None, verdict.dup_delay)
+                else:
+                    conn.enqueue(dup, None)
+        if link.injector.should_disconnect():
+            conn.request_close()
+
+    def _enqueue_delayed(self, conn: _Connection, record, on_drained, delay) -> None:
+        real = delay * self.clock.time_scale
+        self.clock._loop.call_later(real, self._delayed_write, conn, record, on_drained)
+
+    def _delayed_write(self, conn: _Connection, record, on_drained) -> None:
+        self.clock.refresh()
+        if conn.failed:
+            self.flush_write(on_drained)
+        else:
+            conn.enqueue(record, on_drained)
+
+    def _on_rto(self, link: _Link, seq: int) -> None:
+        """Retransmit timeout: the record was never acknowledged."""
+        entry = link.window.get(seq)
+        if entry is None or link.dead:
+            return
+        if entry.attempts > self.chaos.reliability.max_retries:
+            self.stats.exhausted += 1
+            link.window.ack(seq)
+            self.note_fatal(
+                f"record seq={seq} to {link.name!r} unacknowledged after "
+                f"{entry.attempts} attempts"
+            )
+            return
+        if link.writable:
+            self.stats.retransmits += 1
+        self._transmit(link, seq, entry)
+
+    def _handle_ack(self, link: _Link, seqs) -> None:
+        for seq in seqs:
+            entry = link.window.ack(int(seq))
+            if entry is not None and entry.timer is not None:
+                self.clock.cancel(entry.timer)
+                entry.timer = None
 
     # -- receiving -----------------------------------------------------
+    def ingest(self, conn: _Connection, records: list) -> None:
+        """Absorb one chunk's decoded records from ``conn``.
+
+        Plain mode routes frames straight to :meth:`handle_frame`.
+        Envelope mode additionally runs the reliability receive side:
+        sequenced records pass the link's ledger (dedup + in-order
+        release) and every observed sequence number — duplicates
+        included — is acknowledged in one batch per chunk, subject to
+        the ACK-loss lottery.  Any traffic at all refreshes the sender's
+        heartbeat ledger entry; a busy link needs no beacons.
+        """
+        if self.hb is not None and conn.name is not None:
+            self.hb.record(conn.name, self.clock.refresh())
+        if not self.envelope:
+            for frame in records:
+                self.handle_frame(frame, conn)
+            return
+        seen_seqs: list[int] = []
+        for seq, frame in records:
+            if seq is None:
+                self._handle_raw(frame, conn)
+                continue
+            link = self.links.get(conn.name) if conn.name is not None else None
+            if link is None:
+                self.note_fatal("sequenced record on an unidentified connection")
+                continue
+            seen_seqs.append(seq)
+            released = link.ledger.admit(seq, frame)
+            if released is None:
+                self.stats.dups_discarded += 1
+            elif not released:
+                self.stats.reorder_held += 1
+            else:
+                for ready in released:
+                    self.stats.delivered += 1
+                    self.handle_frame(ready, conn)
+        if seen_seqs and conn.name is not None and not conn.failed:
+            link = self.links.get(conn.name)
+            if link is not None and not link.dead:
+                if link.injector.judge_ack():
+                    self.stats.acks_dropped += 1
+                else:
+                    self.stats.acks_sent += 1
+                    conn.enqueue(
+                        wrap_envelope(
+                            ack_frame(self.node_name, conn.name, seen_seqs, wrap=False)
+                        ),
+                        None,
+                        counted=False,
+                    )
+
+    def _handle_raw(self, frame, conn: _Connection) -> None:
+        """Unsequenced (TAG_RAW) records: HELLO, heartbeat, ACK."""
+        ctrl = live_ctrl_kind(frame)
+        if ctrl == "hello":
+            self._register(str(frame.meta["node"]), conn)
+            return
+        if ctrl == "hb":
+            return  # arrival itself refreshed the ledger in ingest()
+        if ctrl == "ack":
+            link = self.links.get(conn.name) if conn.name is not None else None
+            if link is not None:
+                self._handle_ack(link, frame.meta.get("seqs", ()))
+            return
+        self.note_fatal(
+            f"unsequenced non-control frame from {conn.name!r} "
+            f"(live_ctrl={ctrl!r})"
+        )
+
     def handle_frame(self, frame, conn: _Connection) -> None:
         """Route one decoded frame: transport control here, data onward.
 
@@ -268,30 +745,143 @@ class Hub:
         if ctrl == "hello":
             self._register(str(frame.meta["node"]), conn)
             return
+        if ctrl == "hb":
+            return
         if ctrl == "done":
             for message_id, when in frame.meta.get("items", ()):
                 message = self.sent_messages.pop(message_id, None)
                 if message is None:
                     continue  # duplicate/late DONE: already accounted
                 self.done_received += 1
+                self.done_rx_by_src[frame.src] = (
+                    self.done_rx_by_src.get(frame.src, 0) + 1
+                )
                 if not message.completion.done:
                     message.completion.resolve(float(when))
             return
         self._deliver(frame)
 
+    # -- heartbeats ----------------------------------------------------
+    def start_heartbeats(self) -> None:
+        """Begin the periodic liveness beacon (chaos runs only)."""
+        if self.chaos is None or self._hb_handle is not None:
+            return
+        self._arm_heartbeat()
+
+    def _arm_heartbeat(self) -> None:
+        real = self.chaos.heartbeat_interval * self.clock.time_scale
+        self._hb_handle = self.clock._loop.call_later(real, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        if self.closing:
+            return
+        now = self.clock.refresh()
+        # Heartbeats bypass the chaos lottery: they are the liveness
+        # *probe*, and a probe subject to the fault it measures would
+        # conflate wire loss with peer death.
+        record = self._wrap_raw(heartbeat_frame(self.node_name, now, wrap=False))
+        for link in self.links.values():
+            if link.writable and not link.dead:
+                link.conn.enqueue(record, None, counted=False)
+                self.heartbeats_sent += 1
+        self._arm_heartbeat()
+
+    # -- peer death ----------------------------------------------------
+    def mark_dead(self, node: str) -> int:
+        """React to the coordinator declaring ``node`` dead.
+
+        Returns the number of locally submitted messages abandoned
+        because their destination died.  The link stays dead for the
+        rest of the run: no redial, sends blackhole, DONEs to it are
+        suppressed, its unacked window is drained (cancelling the
+        retransmit timers that would otherwise hold quiescence open
+        forever).
+        """
+        link = self.links.get(node)
+        if link is None or link.dead:
+            return 0
+        link.dead = True
+        self.dead_nodes.add(node)
+        if link.redial_handle is not None:
+            link.redial_handle.cancel()
+            link.redial_handle = None
+        for _seq, entry in link.window.drain():
+            if entry.timer is not None:
+                self.clock.cancel(entry.timer)
+                entry.timer = None
+            self.abandoned_frames += 1
+        if link.conn is not None:
+            conn, link.conn = link.conn, None
+            conn.abort()
+        abandoned = 0
+        for message_id, message in list(self.sent_messages.items()):
+            if message.flow.dst == node:
+                del self.sent_messages[message_id]
+                abandoned += 1
+        self.abandoned += abandoned
+        return abandoned
+
     # -- quiescence / teardown -----------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Enveloped records awaiting acknowledgement across all links."""
+        return sum(link.window.in_flight for link in self.links.values())
+
+    @property
+    def corrupt_frames(self) -> int:
+        """Records the tolerant decoders discarded (chaos corruption)."""
+        live = sum(
+            link.conn.decoder.corrupt_frames
+            for link in self.links.values()
+            if link.conn is not None
+        )
+        live += sum(c.decoder.corrupt_frames for c in self._anonymous)
+        return self.corrupt_frames_closed + live
+
     @property
     def buffered_bytes(self) -> int:
         """Partial frames sitting in any connection's decoder."""
-        total = sum(c.decoder.buffered for c in self._conns.values())
+        total = sum(
+            link.conn.decoder.buffered
+            for link in self.links.values()
+            if link.conn is not None
+        )
         return total + sum(c.decoder.buffered for c in self._anonymous)
 
+    def chaos_stats(self) -> dict[str, int]:
+        """Aggregate injector decisions across every outbound link."""
+        out = {"judged": 0, "drops": 0, "corruptions": 0, "duplicates": 0,
+               "delayed": 0, "disconnects": 0}
+        for link in self.links.values():
+            if link.injector is None:
+                continue
+            stats = link.injector.stats
+            out["judged"] += stats.judged
+            out["drops"] += stats.drops
+            out["corruptions"] += stats.corruptions
+            out["duplicates"] += stats.duplicates
+            out["delayed"] += stats.delayed
+            out["disconnects"] += stats.disconnects
+        return out
+
     def close(self) -> None:
-        """Tear down every connection and the listening server."""
-        for conn in self._conns.values():
-            conn.close()
-        for conn in self._anonymous:
-            conn.close()
+        """Tear down every connection, timer, and the listening server."""
+        self.closing = True
+        if self._hb_handle is not None:
+            self._hb_handle.cancel()
+            self._hb_handle = None
+        for link in self.links.values():
+            if link.redial_handle is not None:
+                link.redial_handle.cancel()
+                link.redial_handle = None
+            for _seq, entry in link.window.drain():
+                if entry.timer is not None:
+                    self.clock.cancel(entry.timer)
+                    entry.timer = None
+            if link.conn is not None:
+                link.conn.abort()
+        for conn in list(self._anonymous):
+            conn.abort()
         if self._server is not None:
             self._server.close()
 
@@ -361,17 +951,19 @@ class LivePeer:
 
     def __init__(self, config: dict[str, Any]) -> None:
         scenario = config["scenario"]
-        if scenario.get("faults"):
-            raise ConfigurationError(
-                "live runs reject the 'faults' block: TCP/UDS transport is "
-                "already reliable, injected loss would be double-booked"
-            )
         self.rank = int(config["rank"])
         self.n_nodes = int(config["n_nodes"])
         self.scenario = scenario
         self.names = _node_names(self.n_nodes)
         self.local = self.names[self.rank]
         self.timeout = float(config.get("timeout", 60.0))
+        faults_spec = scenario.get("faults")
+        cluster_seed = int(dict(scenario.get("cluster", {})).get("seed", 0))
+        self.chaos: ChaosConfig | None = (
+            ChaosConfig.from_spec(faults_spec, default_seed=cluster_seed)
+            if faults_spec
+            else None
+        )
 
         obs_spec = dict(config.get("observability") or {})
         obs_spec.setdefault("trace", bool(config.get("trace")))
@@ -385,7 +977,14 @@ class LivePeer:
             time_scale=float(config.get("time_scale", 1.0)),
             tracer=self.tracer,
         )
-        self.hub = Hub(self.clock, self.local, self.rank, self._deliver_frame)
+        self.hub = Hub(
+            self.clock,
+            self.local,
+            self.rank,
+            self._deliver_frame,
+            names=self.names,
+            chaos=self.chaos,
+        )
         self.flows: dict[int, Flow] = {}
         self.mirror = MirrorReceiver(self.local, self.flows.get)
         self.metrics = MetricsCollector()
@@ -417,7 +1016,11 @@ class LivePeer:
             )
         )
         self.obs_adapter = PeerClusterAdapter(
-            self.clock, self.engine, self.node, self.reassembler
+            self.clock,
+            self.engine,
+            self.node,
+            self.reassembler,
+            transport=self.hub if self.hub.envelope else None,
         )
         self.plane.install(self.obs_adapter)
         self.spool: SpoolSink | None = None
@@ -550,23 +1153,94 @@ class LivePeer:
         the module docstring) and starts the app processes — traffic
         begins as soon as the event loop runs.
         """
-        from repro.runtime.scenario import _build_app
+        from repro.runtime.scenario import build_app
 
         workloads = self.scenario.get("workloads", [])
         if not workloads:
             raise ConfigurationError("scenario has no workloads")
         for entry in workloads:
-            app = _build_app(entry)
+            app = build_app(entry)
             app.install(self.facade)
             self.apps.append(app)
         if self.sampler is not None:
             self.sampler.start()
+        self._arm_chaos()
         self._apps_installed = True
         if self._pre_start_frames:
             early, self._pre_start_frames = self._pre_start_frames, []
             for frame in early:
                 self._deliver_frame(frame)
         return len(self.apps)
+
+    def _arm_chaos(self) -> None:
+        """Start heartbeats and schedule outages / the die timer.
+
+        Runs at START (not CONFIG) so every injected event is measured
+        from the moment traffic begins.  Outage and die timers are raw
+        loop timers, not live-clock events: a scheduled-but-unfired
+        outage must not hold an otherwise-finished run open — if the
+        workload completes first, the outage simply never happens (the
+        simulator, which can fast-forward virtual time, always fires
+        them; a wall-clock run cannot).
+        """
+        chaos = self.chaos
+        if chaos is None:
+            return
+        self.hub.start_heartbeats()
+        loop = self.clock._loop
+        scale = self.clock.time_scale
+        for outage in chaos.outages:
+            nics = [nic for nic in self.node.nics if _outage_matches(outage, nic)]
+            if not nics:
+                raise ConfigurationError(
+                    f"outage names no local NIC on {self.local!r} "
+                    f"(nic={outage.nic!r}, network={outage.network!r}, "
+                    f"local: {[n.name for n in self.node.nics]})"
+                )
+            for nic in nics:
+                loop.call_later(outage.at * scale, self._outage_fail, nic)
+                if outage.recover is not None:
+                    loop.call_later(outage.recover * scale, self._outage_recover, nic)
+        die = chaos.die
+        if die is not None and die.rank == self.rank:
+            if die.rank >= self.n_nodes:
+                raise ConfigurationError(
+                    f"die rank {die.rank} outside the {self.n_nodes}-node cluster"
+                )
+            loop.call_later(die.after * scale, os.kill, os.getpid(), die.signal)
+
+    def _outage_fail(self, nic) -> None:
+        self.clock.refresh()
+        nic.fail()
+
+    def _outage_recover(self, nic) -> None:
+        self.clock.refresh()
+        nic.recover()
+
+    def mark_dead(self, nodes: list[str]) -> dict[str, int]:
+        """React to a ``peer_down`` broadcast from the coordinator.
+
+        Abandons messages destined for the dead nodes, blackholes the
+        links, and purges half-reassembled inbound messages whose
+        sender died — a partial message that can never complete would
+        otherwise pin ``incomplete_messages`` above zero and wedge
+        quiescence for the rest of the run.
+        """
+        abandoned = 0
+        purged = 0
+        for node in nodes:
+            abandoned += self.hub.mark_dead(node)
+            purged += self.reassembler.abandon_incomplete(
+                lambda message, _src=node: (
+                    (self.mirror.origin_of(message) or (None,))[0] == _src
+                )
+            )
+            self.mirror.forget_from(node)
+        return {
+            "abandoned": abandoned,
+            "purged_partials": purged,
+            "dead": sorted(self.hub.dead_nodes),
+        }
 
     @property
     def quiet(self) -> bool:
@@ -586,10 +1260,13 @@ class LivePeer:
             and not engine.hold_timer_armed
             and engine.rendezvous_in_flight == 0
             and engine.deferred_rendezvous == 0
-            and all(nic.idle for nic in self.node.nics)
+            # A failed rail is quiescent: its in-flight work was released
+            # on fail() and the engine re-routed around it.
+            and all(nic.idle or nic.failed for nic in self.node.nics)
             and self.reassembler.incomplete_messages == 0
             and self.clock.pending_timers == 0
             and self.hub.writes_in_flight == 0
+            and self.hub.in_flight == 0
             and self.hub.buffered_bytes == 0
         )
 
@@ -600,15 +1277,23 @@ class LivePeer:
         brackets the request with its own clock readings to estimate the
         peer's offset (round-trip midpoint, see :mod:`repro.obs.merge`).
         """
-        return {
+        now = self.clock.refresh()
+        out = {
             "type": "status",
             "quiet": self.quiet,
-            "now": self.clock.refresh(),
+            "now": now,
             "submitted": self.hub.submitted,
             "done_sent": self.hub.done_sent,
             "done_received": self.hub.done_received,
+            "abandoned": self.hub.abandoned,
+            "done_by_dst": dict(self.hub.done_by_dst),
+            "done_rx_by_src": dict(self.hub.done_rx_by_src),
+            "dead": sorted(self.hub.dead_nodes),
             "fatal": self.hub.fatal,
         }
+        if self.hub.hb is not None:
+            out["hb_ages"] = self.hub.hb.ages(now)
+        return out
 
     def flush(self) -> dict[str, Any]:
         """One FLUSH reply: stream everything captured since the last one.
@@ -664,6 +1349,58 @@ class LivePeer:
                 labels,
                 help="Trace events dropped by the streaming spool",
             ).set_total(self.spool.dropped)
+        hub = self.hub
+        registry.counter(
+            "repro_live_retransmits_total",
+            labels,
+            help="Enveloped records re-sent after an RTO expiry",
+        ).set_total(hub.stats.retransmits)
+        registry.counter(
+            "repro_live_reconnects_total",
+            labels,
+            help="Peer connections re-established after a loss",
+        ).set_total(hub.reconnects)
+        registry.counter(
+            "repro_live_disconnects_total",
+            labels,
+            help="Peer connections lost (EOF, error, or injected close)",
+        ).set_total(hub.disconnects)
+        registry.counter(
+            "repro_live_heartbeats_sent_total",
+            labels,
+            help="Liveness beacons written to peer sockets",
+        ).set_total(hub.heartbeats_sent)
+        registry.counter(
+            "repro_live_dups_discarded_total",
+            labels,
+            help="Duplicate enveloped records dropped by the receive ledger",
+        ).set_total(hub.stats.dups_discarded)
+        registry.counter(
+            "repro_live_corrupt_frames_total",
+            labels,
+            help="Records discarded by the tolerant stream decoders",
+        ).set_total(hub.corrupt_frames)
+        registry.counter(
+            "repro_live_abandoned_messages_total",
+            labels,
+            help="Submitted messages abandoned because their destination died",
+        ).set_total(hub.abandoned)
+        registry.counter(
+            "repro_live_blackholed_total",
+            labels,
+            help="Packets addressed to a declared-dead peer",
+        ).set_total(hub.blackholed)
+        if self.chaos is not None:
+            chaos = hub.chaos_stats()
+            for key, metric, text in (
+                ("drops", "repro_chaos_drops_total", "Records dropped"),
+                ("corruptions", "repro_chaos_corruptions_total", "Records corrupted"),
+                ("duplicates", "repro_chaos_duplicates_total", "Records duplicated"),
+                ("disconnects", "repro_chaos_disconnects_total", "Connections closed"),
+            ):
+                registry.counter(
+                    metric, labels, help=f"{text} by the chaos injectors"
+                ).set_total(chaos[key])
 
     def report(self) -> dict[str, Any]:
         """The final REPORT payload: records, counters, apps, trace."""
@@ -741,7 +1478,25 @@ class LivePeer:
                 "submitted": self.hub.submitted,
                 "done_sent": self.hub.done_sent,
                 "done_received": self.hub.done_received,
+                "abandoned": self.hub.abandoned,
+                "blackholed": self.hub.blackholed,
+                "done_suppressed": self.hub.done_suppressed,
+                "done_by_dst": dict(self.hub.done_by_dst),
+                "done_rx_by_src": dict(self.hub.done_rx_by_src),
+                "retransmits": self.hub.stats.retransmits,
+                "dups_discarded": self.hub.stats.dups_discarded,
+                "reorder_held": self.hub.stats.reorder_held,
+                "acks_sent": self.hub.stats.acks_sent,
+                "acks_dropped": self.hub.stats.acks_dropped,
+                "exhausted": self.hub.stats.exhausted,
+                "corrupt_frames": self.hub.corrupt_frames,
+                "reconnects": self.hub.reconnects,
+                "disconnects": self.hub.disconnects,
+                "heartbeats_sent": self.hub.heartbeats_sent,
+                "lost_frames": self.hub.lost_frames,
+                "dead": sorted(self.hub.dead_nodes),
             },
+            "chaos": self.hub.chaos_stats() if self.chaos is not None else None,
             "apps": apps,
             "trace": [event_to_dict(e) for e in trace_events],
             "trace_dropped": self.spool.dropped if self.spool is not None else 0,
@@ -814,6 +1569,10 @@ async def _control_loop() -> int:
             elif kind == "status":
                 assert peer is not None
                 _reply(peer.status())
+            elif kind == "peer_down":
+                assert peer is not None
+                result = peer.mark_dead([str(n) for n in msg.get("nodes", [])])
+                _reply({"type": "peer_down_ok", **result})
             elif kind == "flush":
                 assert peer is not None
                 _reply(peer.flush())

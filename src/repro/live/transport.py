@@ -9,6 +9,16 @@ Three layers live here, all shared by the peer processes and the tests:
   :class:`StreamDecoder` is tolerant of arbitrary partial reads and
   rejects oversized or corrupt frames with a typed
   :class:`~repro.util.errors.WireError`.
+
+  When the chaos/reliability plane is active the record body grows a
+  one-byte **envelope tag** (:func:`wrap_envelope`):
+  ``u32 length || u8 tag || [u64 seq] || frame``.  ``TAG_SEQ`` records
+  carry the per-connection reliability sequence number the receiving
+  hub deduplicates and reorders on; ``TAG_RAW`` records (HELLO,
+  heartbeats, ACKs) bypass the sequence space.  A decoder in
+  ``tolerant`` mode counts and skips records whose frame fails CRC or
+  envelope validation instead of raising — the reliability layer's
+  retransmit path, not the decoder, is then responsible for recovery.
 * **Deterministic payload bytes** — the simulator moves *sizes*, not
   bytes; the live plane must put real bytes on the wire and prove they
   arrive intact.  Every fragment's content is a deterministic function
@@ -36,6 +46,7 @@ from typing import Any, Callable, Iterable
 
 from repro.madeleine.message import Flow, Fragment, Message, PackMode
 from repro.network.wire import (
+    FRAME_PREFIX_BYTES,
     DecodedFrame,
     PacketKind,
     WirePacket,
@@ -48,13 +59,20 @@ from repro.util.errors import ProtocolError, WireError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "TAG_RAW",
+    "TAG_SEQ",
+    "ENVELOPE_DATA_OFFSET",
+    "ENVELOPE_CRC_OFFSET",
     "StreamDecoder",
     "wrap_frame",
+    "wrap_envelope",
     "fragment_seed",
     "payload_bytes",
     "encode_live_packet",
     "hello_frame",
     "done_frame",
+    "heartbeat_frame",
+    "ack_frame",
     "live_ctrl_kind",
     "MirrorReceiver",
 ]
@@ -64,6 +82,24 @@ __all__ = [
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _LENGTH_PREFIX = struct.Struct("!I")
+_SEQ = struct.Struct("!Q")
+
+#: Envelope tags (first body byte of an enveloped record).
+TAG_RAW = 0  #: unsequenced transport control (HELLO, heartbeat, ACK)
+TAG_SEQ = 1  #: sequenced traffic (engine data, DONE acknowledgements)
+
+#: First byte of the wrapped frame inside a sequenced enveloped record:
+#: length prefix (4) + tag (1) + sequence number (8).
+ENVELOPE_DATA_OFFSET = _LENGTH_PREFIX.size + 1 + _SEQ.size
+
+#: First record byte that is covered by the frame CRC: the envelope
+#: header plus the frame's own prefix (whose flags/reserved bytes the
+#: decoder ignores, and whose CRC/length fields corrupt the frame in
+#: detectable but different ways).  Chaos corruption targets offsets at
+#: or beyond this, so an injected flip is always *detected* (CRC
+#: mismatch → tolerant decoder skips → retransmit) without ever
+#: desynchronizing the stream or forging a sequence number.
+ENVELOPE_CRC_OFFSET = ENVELOPE_DATA_OFFSET + FRAME_PREFIX_BYTES
 
 
 def wrap_frame(frame: bytes) -> bytes:
@@ -73,31 +109,68 @@ def wrap_frame(frame: bytes) -> bytes:
     return _LENGTH_PREFIX.pack(len(frame)) + frame
 
 
+def wrap_envelope(frame: bytes, seq: int | None = None) -> bytes:
+    """Wrap one frame in the reliability envelope.
+
+    ``seq=None`` produces a ``TAG_RAW`` record; otherwise the record is
+    ``TAG_SEQ`` and carries the 64-bit per-connection sequence number
+    the receiving hub deduplicates and reorders on.
+    """
+    if seq is None:
+        body = bytes([TAG_RAW]) + frame
+    else:
+        if seq < 0:
+            raise WireError(f"negative reliability sequence number {seq}")
+        body = bytes([TAG_SEQ]) + _SEQ.pack(seq) + frame
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"record of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH_PREFIX.pack(len(body)) + body
+
+
 class StreamDecoder:
     """Incremental splitter: arbitrary byte chunks in, decoded frames out.
 
     ``feed`` never assumes a read boundary lines up with a frame — a
     TCP segment may end mid-prefix, mid-header, or mid-payload; the
     remainder is buffered until the next chunk.
+
+    Two orthogonal modes:
+
+    * ``envelope`` — records carry the reliability envelope
+      (:func:`wrap_envelope`) and ``feed`` returns ``(seq, frame)``
+      pairs, ``seq`` being ``None`` for ``TAG_RAW`` records;
+    * ``tolerant`` — a record whose body fails envelope or CRC
+      validation is *counted* (:attr:`corrupt_frames`) and skipped
+      instead of raising, leaving recovery to the retransmit layer.
+      The length prefix itself stays load-bearing either way: an
+      implausible length is unrecoverable stream corruption.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buffer", "_envelope", "_tolerant", "corrupt_frames")
 
-    def __init__(self) -> None:
+    def __init__(self, *, envelope: bool = False, tolerant: bool = False) -> None:
         self._buffer = bytearray()
+        self._envelope = envelope
+        self._tolerant = tolerant
+        #: Records dropped by tolerant mode (CRC / envelope failures).
+        self.corrupt_frames = 0
 
     @property
     def buffered(self) -> int:
         """Bytes received but not yet forming a complete frame."""
         return len(self._buffer)
 
-    def feed(self, data: bytes) -> list[DecodedFrame]:
-        """Absorb one chunk; return every frame it completes."""
+    def feed(self, data: bytes) -> list:
+        """Absorb one chunk; return every record it completes.
+
+        Plain mode returns ``list[DecodedFrame]``; envelope mode returns
+        ``list[tuple[int | None, DecodedFrame]]``.
+        """
         self._buffer.extend(data)
-        frames: list[DecodedFrame] = []
+        out: list = []
         while True:
             if len(self._buffer) < _LENGTH_PREFIX.size:
-                return frames
+                return out
             (length,) = _LENGTH_PREFIX.unpack(self._buffer[: _LENGTH_PREFIX.size])
             if length > MAX_FRAME_BYTES:
                 raise WireError(
@@ -106,10 +179,30 @@ class StreamDecoder:
                 )
             end = _LENGTH_PREFIX.size + length
             if len(self._buffer) < end:
-                return frames
-            frame = bytes(self._buffer[_LENGTH_PREFIX.size : end])
+                return out
+            body = bytes(self._buffer[_LENGTH_PREFIX.size : end])
             del self._buffer[:end]
-            frames.append(decode_frame(frame))
+            try:
+                out.append(self._decode_body(body))
+            except WireError:
+                if not self._tolerant:
+                    raise
+                self.corrupt_frames += 1
+
+    def _decode_body(self, body: bytes):
+        if not self._envelope:
+            return decode_frame(body)
+        if not body:
+            raise WireError("empty enveloped record")
+        tag = body[0]
+        if tag == TAG_RAW:
+            return None, decode_frame(body[1:])
+        if tag == TAG_SEQ:
+            if len(body) < 1 + _SEQ.size:
+                raise WireError("sequenced record too short for its header")
+            (seq,) = _SEQ.unpack_from(body, 1)
+            return seq, decode_frame(body[1 + _SEQ.size :])
+        raise WireError(f"unknown envelope tag {tag}")
 
 
 # --------------------------------------------------------------------------
@@ -176,13 +269,16 @@ def _segment_descriptor(fragment: Fragment) -> dict[str, Any]:
     }
 
 
-def encode_live_packet(packet: WirePacket) -> bytes:
+def encode_live_packet(packet: WirePacket, *, wrap: bool = True) -> bytes:
     """Serialize one engine-produced packet into a stream record.
 
     Data segments reference in-process ``Fragment`` objects; each
     becomes a JSON descriptor (enough for the receiver to rebuild the
     message skeleton) plus deterministic pattern bytes for the slice.
     Control packets (rendezvous handshake) carry their ``meta`` only.
+
+    ``wrap=False`` returns the bare wire-codec frame so the hub can
+    apply its own record framing (the reliability envelope).
     """
     segments = []
     for seg in packet.segments:
@@ -198,7 +294,7 @@ def encode_live_packet(packet: WirePacket) -> bytes:
     frame = encode_frame(
         packet.kind, packet.src, packet.dst, packet.channel_id, packet.meta, segments
     )
-    return wrap_frame(frame)
+    return wrap_frame(frame) if wrap else frame
 
 
 # --------------------------------------------------------------------------
@@ -212,31 +308,43 @@ def live_ctrl_kind(frame: DecodedFrame) -> str | None:
     return tag if isinstance(tag, str) else None
 
 
-def hello_frame(src: str, rank: int) -> bytes:
+def hello_frame(src: str, rank: int, *, wrap: bool = True) -> bytes:
     """Mesh handshake: identifies the sending peer on a fresh connection."""
-    return wrap_frame(
-        encode_frame(
-            PacketKind.CTRL, src, "*", -1, {"live_ctrl": "hello", "rank": rank, "node": src}
-        )
+    frame = encode_frame(
+        PacketKind.CTRL, src, "*", -1, {"live_ctrl": "hello", "rank": rank, "node": src}
     )
+    return wrap_frame(frame) if wrap else frame
 
 
-def done_frame(src: str, dst: str, items: Iterable[tuple[int, float]]) -> bytes:
+def done_frame(src: str, dst: str, items: Iterable[tuple[int, float]], *, wrap: bool = True) -> bytes:
     """Delivery acknowledgement: ``items`` are (sender message id, time).
 
     Sent receiver → sender when a mirrored message completes, so the
     sender can resolve the original ``Message.completion`` future (the
     live analogue of the simulator resolving it at arrival time).
     """
-    return wrap_frame(
-        encode_frame(
-            PacketKind.CTRL,
-            src,
-            dst,
-            -1,
-            {"live_ctrl": "done", "items": [[mid, t] for mid, t in items]},
-        )
+    frame = encode_frame(
+        PacketKind.CTRL,
+        src,
+        dst,
+        -1,
+        {"live_ctrl": "done", "items": [[mid, t] for mid, t in items]},
     )
+    return wrap_frame(frame) if wrap else frame
+
+
+def heartbeat_frame(src: str, t: float, *, wrap: bool = True) -> bytes:
+    """Peer-to-peer liveness beacon (TAG_RAW; never retransmitted)."""
+    frame = encode_frame(PacketKind.CTRL, src, "*", -1, {"live_ctrl": "hb", "t": t})
+    return wrap_frame(frame) if wrap else frame
+
+
+def ack_frame(src: str, dst: str, seqs: Iterable[int], *, wrap: bool = True) -> bytes:
+    """Reliability acknowledgement for a batch of received sequence numbers."""
+    frame = encode_frame(
+        PacketKind.CTRL, src, dst, -1, {"live_ctrl": "ack", "seqs": [int(s) for s in seqs]}
+    )
+    return wrap_frame(frame) if wrap else frame
 
 
 # --------------------------------------------------------------------------
@@ -358,6 +466,19 @@ class MirrorReceiver:
         origin = self._origins.pop(message.message_id, None)
         if origin is not None:
             self._mirrors.pop(origin, None)
+
+    def forget_from(self, src: str) -> int:
+        """Drop every open mirror created for packets from ``src``.
+
+        Called when the coordinator declares ``src`` dead: its half-sent
+        messages will never complete and their mirrors would otherwise
+        leak for the rest of the run.  Returns the number forgotten.
+        """
+        doomed = [key for key in self._mirrors if key[0] == src]
+        for key in doomed:
+            message = self._mirrors.pop(key)
+            self._origins.pop(message.message_id, None)
+        return len(doomed)
 
     @property
     def open_mirrors(self) -> int:

@@ -220,6 +220,36 @@ class MessageReassembler:
             inbox.put(message)
 
     # ------------------------------------------------------------------
+    # abandonment (degraded runs)
+    # ------------------------------------------------------------------
+    def abandon_incomplete(self, predicate: Callable[[Message], bool]) -> int:
+        """Drop partially reassembled messages matching ``predicate``.
+
+        Used by the live plane when a sender dies mid-message: its
+        remaining bytes will never arrive, and an eternally incomplete
+        message would pin :attr:`incomplete_messages` above zero and
+        wedge quiescence detection.  All per-fragment progress and
+        watcher state is released; completion futures are left
+        unresolved (the message did *not* complete).  Returns the
+        number of messages abandoned.
+        """
+        doomed: dict[int, Message] = {}
+        for progress in list(self._progress.values()):
+            message = progress.fragment.message
+            if (
+                message.message_id in self._message_remaining
+                and message.message_id not in doomed
+                and predicate(message)
+            ):
+                doomed[message.message_id] = message
+        for message in doomed.values():
+            for fragment in message.fragments:
+                self._progress.pop(fragment.fragment_id, None)
+                self._fragment_watchers.pop(fragment.fragment_id, None)
+            self._message_remaining.pop(message.message_id, None)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

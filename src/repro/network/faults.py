@@ -35,7 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.nic import NIC
     from repro.sim.engine import Simulator
 
-__all__ = ["FaultSpec", "RailOutage", "FaultVerdict", "FaultPlane"]
+__all__ = [
+    "FaultSpec",
+    "RailOutage",
+    "FaultVerdict",
+    "FaultPlane",
+    "parse_fault_spec",
+    "parse_outage",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -201,7 +208,7 @@ class FaultPlane:
             name: _parse_subspec(f"per_nic[{name!r}]", sub)
             for name, sub in dict(spec.get("per_nic", {})).items()
         }
-        outages = [_parse_outage(entry) for entry in spec.get("outages", [])]
+        outages = [parse_outage(entry) for entry in spec.get("outages", [])]
         return cls(
             default,
             per_network=per_network,
@@ -306,7 +313,14 @@ class FaultPlane:
         )
 
 
-def _parse_subspec(where: str, sub: Mapping[str, Any]) -> FaultSpec:
+def parse_fault_spec(sub: Mapping[str, Any], where: str = "spec") -> FaultSpec:
+    """Parse one drop/corrupt/duplicate/jitter mapping into a :class:`FaultSpec`.
+
+    Shared vocabulary between the simulated plane's per-NIC/per-network
+    sub-specs and the live plane's chaos profile
+    (:mod:`repro.live.chaos`), so a fault profile means the same thing
+    in both planes.
+    """
     sub = dict(sub)
     for key in sub:
         if key not in ("drop", "corrupt", "duplicate", "jitter"):
@@ -317,7 +331,13 @@ def _parse_subspec(where: str, sub: Mapping[str, Any]) -> FaultSpec:
     return FaultSpec(**{k: float(v) for k, v in sub.items()})
 
 
-def _parse_outage(entry: Mapping[str, Any]) -> RailOutage:
+def _parse_subspec(where: str, sub: Mapping[str, Any]) -> FaultSpec:
+    return parse_fault_spec(sub, where)
+
+
+def parse_outage(entry: Mapping[str, Any]) -> RailOutage:
+    """Parse one scheduled-outage entry; public so the live chaos
+    layer shares the schema (and its strict unknown-key errors)."""
     entry = dict(entry)
     for key in entry:
         if key not in _OUTAGE_KEYS:

@@ -48,7 +48,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.network.nic import NIC
     from repro.sim.event import Event
 
-__all__ = ["ReliabilityConfig", "TransportStats", "ReliableTransport"]
+__all__ = [
+    "ReliabilityConfig",
+    "TransportStats",
+    "ReliableTransport",
+    "SendWindow",
+    "ReceiveLedger",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,11 +137,88 @@ class _Pending:
 
 
 @dataclass(slots=True)
-class _RxStream:
-    """Receiver-side state for one (src, dst, channel) sequence stream."""
+class SendWindow:
+    """Transport-agnostic sender window: sequence stamping + unacked tracking.
+
+    Carries no timers and no I/O — the owning transport decides *when*
+    to retransmit; the window only answers *what* is outstanding.  Used
+    by the simulated :class:`ReliableTransport` conceptually (which
+    predates it) and concretely by the live plane's per-connection
+    reliability (:mod:`repro.live.peer`).
+    """
+
+    next_seq: int = 0
+    _unacked: dict = field(default_factory=dict)
+
+    def stamp(self, item) -> int:
+        """Assign the next sequence number to ``item`` and track it."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self._unacked[seq] = item
+        return seq
+
+    def ack(self, seq: int):
+        """Retire one sequence number; returns its item or None if unknown."""
+        return self._unacked.pop(seq, None)
+
+    def get(self, seq: int):
+        """The still-unacked item at ``seq``, or None."""
+        return self._unacked.get(seq)
+
+    @property
+    def in_flight(self) -> int:
+        """Stamped but not yet acknowledged."""
+        return len(self._unacked)
+
+    def pending(self) -> list:
+        """All unacked ``(seq, item)`` pairs in sequence order."""
+        return sorted(self._unacked.items())
+
+    def drain(self) -> list:
+        """Remove and return every unacked ``(seq, item)`` in order."""
+        items = self.pending()
+        self._unacked.clear()
+        return items
+
+
+@dataclass(slots=True)
+class ReceiveLedger:
+    """Transport-agnostic receiver ledger: exactly-once, in-order release.
+
+    :meth:`admit` returns ``None`` for a duplicate (already released or
+    already buffered), ``[]`` when the item is held for reordering, and
+    the in-sequence run of released items otherwise.  The caller ACKs
+    on any non-crash outcome — duplicates included, since the sender may
+    only be retransmitting because the previous ACK was lost.
+    """
 
     expected: int = 0
-    buffer: dict[int, WirePacket] = field(default_factory=dict)
+    _buffer: dict = field(default_factory=dict)
+    dups: int = 0
+    held: int = 0
+
+    def admit(self, seq: int, item) -> list | None:
+        """Accept one arrival: ``None`` for a duplicate (ACK it anyway —
+        the first ACK may have been lost), ``[]`` when held for
+        reordering, else the in-sequence run now released."""
+        if seq < self.expected or seq in self._buffer:
+            self.dups += 1
+            return None
+        if seq > self.expected:
+            self._buffer[seq] = item
+            self.held += 1
+            return []
+        released = [item]
+        self.expected += 1
+        while self.expected in self._buffer:
+            released.append(self._buffer.pop(self.expected))
+            self.expected += 1
+        return released
+
+    @property
+    def buffered(self) -> int:
+        """Out-of-order items currently held back."""
+        return len(self._buffer)
 
 
 class ReliableTransport:
@@ -160,7 +243,7 @@ class ReliableTransport:
         self.stats = TransportStats()
         self._pending: dict[int, _Pending] = {}
         self._next_seq: dict[tuple[str, str, int], int] = {}
-        self._rx: dict[tuple[str, str, int], _RxStream] = {}
+        self._rx: dict[tuple[str, str, int], ReceiveLedger] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -343,23 +426,19 @@ class ReliableTransport:
             # Unsequenced packet (injected directly in a test): pass through.
             receiver.dispatch(packet)
             return
-        stream = self._rx.setdefault(
-            (packet.src, packet.dst, packet.channel_id), _RxStream()
+        ledger = self._rx.setdefault(
+            (packet.src, packet.dst, packet.channel_id), ReceiveLedger()
         )
-        if seq < stream.expected or seq in stream.buffer:
+        released = ledger.admit(seq, packet)
+        if released is None:
             self.stats.dups_discarded += 1
             return
-        if seq > stream.expected:
-            stream.buffer[seq] = packet
+        if not released:
             self.stats.reorder_held += 1
             return
-        receiver.dispatch(packet)
-        self.stats.delivered += 1
-        stream.expected += 1
-        while stream.expected in stream.buffer:
-            receiver.dispatch(stream.buffer.pop(stream.expected))
+        for ready in released:
+            receiver.dispatch(ready)
             self.stats.delivered += 1
-            stream.expected += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

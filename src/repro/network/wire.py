@@ -43,6 +43,7 @@ __all__ = [
     "META_VIA",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "FRAME_PREFIX_BYTES",
     "DecodedSegment",
     "DecodedFrame",
     "correlation_id",
@@ -181,6 +182,10 @@ WIRE_VERSION = 1
 
 # magic(4) version(1) kind(1) flags(1) reserved(1) crc32(4) body_len(u32)
 _PREFIX = struct.Struct("!4sBBBBII")
+#: Size of the frame prefix.  The CRC covers only the *body* after it;
+#: the flags/reserved prefix bytes are currently ignored by the decoder,
+#: so a flip there is undetectable — fault injectors must aim past it.
+FRAME_PREFIX_BYTES = _PREFIX.size
 # channel_id(i32) src_len(u16) dst_len(u16) meta_len(u32) seg_count(u16)
 _BODY_HEAD = struct.Struct("!iHHIH")
 # desc_len(u32) offset(u64) length(u64)

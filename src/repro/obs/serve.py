@@ -7,6 +7,8 @@ is in flight:
   rendered in Prometheus text exposition format (``text/plain; version=0.0.4``).
 * ``GET /status`` — a JSON document with run progress (per-peer message
   counts, clock offsets, trace accounting) for humans and scripts.
+* ``GET /peers`` — liveness: which peers are alive, which the watchdog
+  has declared dead (and why), with time-to-detect per declaration.
 
 The server is deliberately tiny: a hand-rolled HTTP/1.0 responder on
 ``asyncio`` streams, no routing table, no keep-alive, no dependencies.
@@ -60,6 +62,9 @@ class ObsHTTPServer:
         text.  Called from the server thread — must be thread-safe.
     status:
         Zero-arg callable returning a JSON-able dict for ``/status``.
+    peers:
+        Optional zero-arg callable returning a JSON-able dict for
+        ``/peers`` (liveness view); without it the route 404s.
     host, port:
         Bind address.  ``port=0`` picks a free port; read it back from
         :attr:`port` after :meth:`start`.
@@ -69,12 +74,14 @@ class ObsHTTPServer:
         self,
         metrics_text: Callable[[], str],
         status: Callable[[], Mapping[str, Any]],
+        peers: Callable[[], Mapping[str, Any]] | None = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self._metrics_text = metrics_text
         self._status = status
+        self._peers = peers
         self._host = host
         self._port = port
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -209,10 +216,13 @@ class ObsHTTPServer:
             if route == "/status":
                 body = json.dumps(dict(self._status()), indent=2, sort_keys=True)
                 return "200 OK", "application/json", (body + "\n").encode("utf-8")
+            if route == "/peers" and self._peers is not None:
+                body = json.dumps(dict(self._peers()), indent=2, sort_keys=True)
+                return "200 OK", "application/json", (body + "\n").encode("utf-8")
         except Exception as exc:  # callback failure must not kill the server
             return "500 Internal Server Error", "text/plain", f"{exc}\n".encode()
         return (
             "404 Not Found",
             "text/plain",
-            b"not found; try /metrics or /status\n",
+            b"not found; try /metrics, /status or /peers\n",
         )

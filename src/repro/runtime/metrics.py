@@ -117,6 +117,11 @@ class SessionReport:
     packets_duplicated: int = 0
     failovers: int = 0  #: engine rail-down re-routes + transport NIC switches
     rdv_timeouts: int = 0
+    #: Degraded completion (live runs): at least one peer died mid-run
+    #: and the report merges only the survivors' views.
+    degraded: bool = False
+    #: Submitted messages abandoned because their destination peer died.
+    lost_messages: int = 0
 
     def to_dict(self) -> dict:
         """Full JSON-ready view of the report (``repro run --json``)."""
@@ -144,6 +149,8 @@ class SessionReport:
             "packets_duplicated": self.packets_duplicated,
             "failovers": self.failovers,
             "rdv_timeouts": self.rdv_timeouts,
+            "degraded": self.degraded,
+            "lost_messages": self.lost_messages,
         }
 
     def row(self) -> dict[str, float]:

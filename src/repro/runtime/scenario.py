@@ -75,7 +75,14 @@ from repro.runtime.metrics import SessionReport
 from repro.runtime.session import run_session
 from repro.util.errors import ConfigurationError
 
-__all__ = ["APP_TYPES", "POLICY_TYPES", "build_scenario", "run_scenario", "load_scenario_file"]
+__all__ = [
+    "APP_TYPES",
+    "POLICY_TYPES",
+    "build_app",
+    "build_scenario",
+    "run_scenario",
+    "load_scenario_file",
+]
 
 #: Workload app name → (class, endpoint kind: "pair" or "group").
 APP_TYPES: dict[str, tuple[type, str]] = {
@@ -130,7 +137,11 @@ def _parse_traffic_class(value: Any) -> Any:
     return value
 
 
-def _build_app(spec: Mapping[str, Any]) -> AppBase:
+def build_app(spec: Mapping[str, Any]) -> AppBase:
+    """One workload-list entry into an (uninstalled) app instance.
+
+    Public because the live plane builds its apps per peer process from
+    the same scenario grammar (:mod:`repro.live.peer`)."""
     spec = dict(spec)
     try:
         app_name = spec.pop("app")
@@ -188,7 +199,7 @@ def build_scenario(scenario: Mapping[str, Any]) -> tuple[Cluster, list[AppBase]]
     if obs_spec is not None:
         cluster_spec["observability"] = obs_spec
     cluster = Cluster(**cluster_spec)
-    apps = [_build_app(entry) for entry in scenario.get("workloads", [])]
+    apps = [build_app(entry) for entry in scenario.get("workloads", [])]
     if not apps:
         raise ConfigurationError("scenario has no workloads")
     return cluster, apps

@@ -44,9 +44,21 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             run_live_scenario(scenario)
 
-    def test_faults_block_rejected(self):
+    def test_bad_faults_block_rejected(self):
+        # Live runs accept "faults" (chaos), but the block is parsed
+        # before any peer is spawned: sim-only and unknown keys fail
+        # fast at the coordinator.
         scenario = _scenario([])
-        scenario["faults"] = {"drop": 0.1}
+        scenario["faults"] = {"per_nic": {"n0.mx00": {"drop": 0.1}}}
+        with pytest.raises(ConfigurationError):
+            run_live_scenario(scenario)
+        scenario["faults"] = {"dropp": 0.1}
+        with pytest.raises(ConfigurationError):
+            run_live_scenario(scenario)
+
+    def test_die_rank_out_of_range_rejected(self):
+        scenario = _scenario([])
+        scenario["faults"] = {"die": {"rank": 9, "after": 0.1}}
         with pytest.raises(ConfigurationError):
             run_live_scenario(scenario)
 

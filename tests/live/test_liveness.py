@@ -1,0 +1,128 @@
+"""Liveness units: backoff jitter, heartbeat ledgers, the watchdog."""
+
+import pytest
+
+from repro.live.liveness import Backoff, HeartbeatLedger, PeerWatchdog
+from repro.util.errors import ConfigurationError
+
+
+class TestBackoff:
+    def test_grows_exponentially_and_clamps(self):
+        backoff = Backoff(base=0.05, factor=2.0, maximum=0.4, jitter=0.0, seed=1)
+        delays = [backoff.next() for _ in range(6)]
+        assert delays[:4] == pytest.approx([0.05, 0.1, 0.2, 0.4])
+        assert delays[4] == pytest.approx(0.4)  # clamped
+
+    def test_reset_rearms(self):
+        backoff = Backoff(base=0.05, jitter=0.0)
+        backoff.next(), backoff.next()
+        backoff.reset()
+        assert backoff.next() == pytest.approx(0.05)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = Backoff(jitter=0.25, seed=7)
+        b = Backoff(jitter=0.25, seed=7)
+        seq_a = [a.next() for _ in range(10)]
+        seq_b = [b.next() for _ in range(10)]
+        assert seq_a == seq_b  # same seed, same delays
+        plain = Backoff(jitter=0.0)
+        for got, nominal in zip(seq_a, [plain.next() for _ in range(10)]):
+            assert nominal * 0.75 <= got <= nominal * 1.25
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Backoff(base=0.0)
+        with pytest.raises(ConfigurationError):
+            Backoff(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            Backoff(jitter=1.5)
+
+
+class TestHeartbeatLedger:
+    def test_any_traffic_counts_as_life(self):
+        ledger = HeartbeatLedger(dead_after=1.0)
+        ledger.record("n1", 10.0)
+        assert ledger.age("n1", 10.4) == pytest.approx(0.4)
+        assert not ledger.stale("n1", 10.9)
+        assert ledger.stale("n1", 11.1)
+
+    def test_never_heard_is_not_stale(self):
+        ledger = HeartbeatLedger(dead_after=1.0)
+        assert ledger.age("n9", 100.0) is None
+        assert not ledger.stale("n9", 100.0)
+
+    def test_ages_snapshot(self):
+        ledger = HeartbeatLedger(dead_after=1.0)
+        ledger.record("n1", 5.0)
+        ledger.record("n2", 6.0)
+        assert ledger.ages(7.0) == pytest.approx({"n1": 2.0, "n2": 1.0})
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestPeerWatchdog:
+    def _watchdog(self, clock, **kwargs):
+        kwargs.setdefault("dead_after", 2.0)
+        return PeerWatchdog({0: "n0", 1: "n1", 2: "n2"}, clock=clock, **kwargs)
+
+    def test_exit_declared_once(self):
+        clock = _FakeClock()
+        watchdog = self._watchdog(clock)
+        watchdog.note_exit(2, -9)
+        (dead,) = watchdog.check()
+        assert (dead.rank, dead.node, dead.reason) == (2, "n2", "exit")
+        assert watchdog.check() == []  # declared exactly once
+        assert watchdog.alive() == [0, 1]
+
+    def test_control_failures_need_budget(self):
+        clock = _FakeClock()
+        watchdog = self._watchdog(clock, control_failure_budget=2)
+        watchdog.note_control_failure(1)
+        assert watchdog.check() == []
+        watchdog.note_control_failure(1)
+        (dead,) = watchdog.check()
+        assert dead.reason == "control"
+
+    def test_beat_clears_control_failures(self):
+        clock = _FakeClock()
+        watchdog = self._watchdog(clock, control_failure_budget=2)
+        watchdog.note_control_failure(1)
+        watchdog.beat(1)
+        watchdog.note_control_failure(1)
+        assert watchdog.check() == []
+
+    def test_heartbeat_gossip_needs_direct_contact_loss_too(self):
+        clock = _FakeClock()
+        watchdog = self._watchdog(clock)
+        # Survivors gossip a long silence, but the coordinator still
+        # reaches the peer (beat): a one-sided socket failure must not
+        # kill a healthy process.
+        watchdog.note_heartbeat_age(1, 5.0)
+        watchdog.beat(1)
+        assert watchdog.check() == []
+        # Now the coordinator also loses contact for > dead_after.
+        clock.now += 3.0
+        watchdog.note_heartbeat_age(1, 8.0)
+        (dead,) = watchdog.check()
+        assert dead.reason == "heartbeat"
+        assert dead.time_to_detect == pytest.approx(3.0)
+
+    def test_summary_shape(self):
+        clock = _FakeClock()
+        watchdog = self._watchdog(clock)
+        watchdog.note_exit(0, 1)
+        watchdog.check()
+        summary = watchdog.summary()
+        assert summary["alive"] == [1, 2]
+        assert summary["dead"][0]["node"] == "n0"
+        assert summary["dead"][0]["reason"] == "exit"
+
+    def test_bad_dead_after_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerWatchdog({0: "n0"}, dead_after=0.0)
