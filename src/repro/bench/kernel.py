@@ -431,7 +431,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help=f"exit 1 on >{MAX_REGRESSION:.0%} regression vs the baseline",
+        # argparse %-expands help strings, so spell the percent sign %%.
+        help=f"exit 1 on >{MAX_REGRESSION * 100:.0f}%% regression vs the baseline",
     )
     parser.add_argument(
         "--max-regression",
@@ -450,8 +451,8 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             f"measure observability overhead and exit 1 when the disabled "
-            f"plane costs >{TRACE_NULL_OVERHEAD:.0%} or full tracing costs "
-            f">{TRACE_FULL_OVERHEAD:.0%} decision rate"
+            f"plane costs >{TRACE_NULL_OVERHEAD * 100:.0f}%% or full tracing "
+            f"costs >{TRACE_FULL_OVERHEAD * 100:.0f}%% decision rate"
         ),
     )
     args = parser.parse_args(argv)
@@ -490,10 +491,13 @@ def main(argv: list[str] | None = None) -> int:
     print("== kernel micro-benchmarks (ops per wall-second, best of 3) ==")
     print(_render(metrics))
 
+    from repro.core import kernel as _kernel
+
     payload = {
         "schema": 1,
         "suite": "kernel",
         "quick": args.quick,
+        "kernel_backend": _kernel.ACTIVE_BACKEND,
         "metrics": metrics,
     }
     Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

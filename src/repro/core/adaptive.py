@@ -97,17 +97,32 @@ class AdaptiveChannels(ChannelPolicy):
             raise ConfigurationError("AdaptiveChannels.setup() not called")
         return self._pool.channel_for(entry.traffic_class).channel_id
 
+    #: ``service_order`` rank of the shared channel: strictly after the
+    #: dedicated CONTROL/PUTGET channels (ranks 0, 1) and strictly
+    #: before dedicated DEFAULT/BULK (ranks 3, 4) — mixed traffic must
+    #: not overtake latency-critical classes, but beats pure background
+    #: classes.  Dedicated ranks leave this slot free (see below), so no
+    #: dedicated channel can ever tie with the shared one.
+    _SHARED_RANK = 2
+
     def service_order(self, queues: Sequence[ChannelQueue]) -> list[ChannelQueue]:
         rank: dict[int, int] = {}
         for position, traffic_class in enumerate(self.PRIORITY):
             channel_id = self._dedicated.get(traffic_class)
             if channel_id is not None:
-                rank[channel_id] = position
-        # Shared channel after CONTROL/PUTGET but before dedicated BULK.
+                # Skip over _SHARED_RANK so a promoted DEFAULT channel
+                # (PRIORITY position 2) cannot collide with the shared
+                # channel's rank — a tie would fall through to
+                # channel-id order and service shared (mixed) traffic
+                # ahead of the dedicated class it lost to.
+                rank[channel_id] = (
+                    position if position < self._SHARED_RANK else position + 1
+                )
         if self._shared_id is not None:
-            rank.setdefault(self._shared_id, len(self.PRIORITY) - 2)
+            rank.setdefault(self._shared_id, self._SHARED_RANK)
+        unknown = len(self.PRIORITY) + 1
         return sorted(
-            queues, key=lambda q: (rank.get(q.channel_id, len(self.PRIORITY)), q.channel_id)
+            queues, key=lambda q: (rank.get(q.channel_id, unknown), q.channel_id)
         )
 
     def note_dispatch(self, channel_id, items) -> None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.kernel import score_eager_packed as _score_eager_packed
 from repro.core.plan import TransferPlan
 from repro.network.wire import (
     HEADER_BYTES_PER_SEGMENT,
@@ -96,6 +97,30 @@ class CostModel:
         )
         boost = 1.0 + min(max(oldest_wait, 0.0) / self.starvation_horizon, 1.0)
         return density * boost
+
+    def score_packed(
+        self,
+        consts,
+        n_items: int,
+        payload_bytes: int,
+        oldest_submit: float,
+        now: float,
+    ) -> float:
+        """:meth:`score` for an EAGER data plan, from packed aggregates.
+
+        ``consts`` is the driver's folded
+        :class:`~repro.core.kernel.DriverConstants`; the remaining
+        arguments are the prefix aggregates a
+        :class:`~repro.core.kernel.SeedBuild` maintains.  Bit-identical
+        with :meth:`score` on the materialized plan (the kernel
+        hypothesis tests pin this), so the batched search ranks
+        candidates exactly as the scalar model would — without building
+        them.
+        """
+        return _score_eager_packed(
+            consts, n_items, payload_bytes, oldest_submit, now,
+            self.starvation_horizon,
+        )
 
     def breakdown(self, plan: TransferPlan, now: float) -> dict[str, float]:
         """The :meth:`score` computation, term by term.

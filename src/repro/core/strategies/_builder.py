@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro.core import kernel
 from repro.core.plan import PlanItem, TransferPlan
 from repro.core.waiting import ChannelQueue
 from repro.drivers.base import Driver
@@ -34,6 +35,8 @@ _CONTROL_PACKET_KIND = {
     EntryKind.RDV_REQ: PacketKind.RDV_REQ,
     EntryKind.RDV_ACK: PacketKind.RDV_ACK,
 }
+
+_BATCHING_ENABLED = kernel.batching_enabled()
 
 
 def park_oversized(engine: "CommEngineBase", driver: Driver, queue: ChannelQueue) -> int:
@@ -81,6 +84,35 @@ def build_from_queue(
     instead of re-materializing it per candidate.
     """
     config = engine.config
+    if (
+        pending is None
+        and not same_message_only
+        and not protocol_only
+        and _BATCHING_ENABLED
+    ):
+        # Array fast path: walk the queue's flat mirror instead of the
+        # entry objects.  Only taken when the driver's constant fold is
+        # exact (stock driver/link methods); the object walk below stays
+        # the reference for every mode the arrays cannot express.
+        consts = kernel.constants_for(driver)
+        if consts.exact:
+            built = kernel.build_eager_arrays(
+                queue.pending_arrays(config.lookahead_window),
+                consts,
+                engine,
+                driver,
+                queue.channel_id,
+                max_items,
+                skip_seeds,
+                allow_park,
+                config.stripe_chunk,
+                len(engine.drivers) > 1,
+            )
+            if built is None:
+                return None
+            if type(built) is kernel.SeedBuild:
+                return built.plan(built.n_items)
+            return built
     if pending is None:
         # The lookahead window bounds *optimization* lookahead; a
         # protocol-only pass must reach control/rendezvous entries

@@ -39,16 +39,13 @@ class AggregationStrategy(Strategy):
             if self.max_items is not None
             else driver.max_segments_per_packet()
         )
-        window = engine.config.lookahead_window
         for queue in engine.queues_for(driver):
-            # One explicit window snapshot per queue, handed to the
-            # builder: the decision materializes the lookahead once.
-            pending = queue.pending_view(window)
-            if not pending:
+            # O(1) emptiness probe; the builder materializes the window
+            # itself (array mirror when batching is enabled, object
+            # snapshot otherwise).
+            if not len(queue):
                 continue
-            plan = build_from_queue(
-                engine, driver, queue, max_items=limit, pending=pending
-            )
+            plan = build_from_queue(engine, driver, queue, max_items=limit)
             if plan is not None:
                 return plan
         return None

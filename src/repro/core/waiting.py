@@ -49,6 +49,9 @@ from repro.util.errors import InternalError
 __all__ = ["ChannelQueue", "WaitingLists"]
 
 _PENDING_STATES = PENDING_ENTRY_STATES
+_WAITING = EntryState.WAITING
+_RDV_READY = EntryState.RDV_READY
+_SENT = EntryState.SENT
 
 #: Dead-slot count below which compaction is never attempted (tiny
 #: queues are cheaper to leave fragmented than to rebuild).
@@ -78,6 +81,9 @@ class ChannelQueue:
         "_snap",
         "_oldest_version",
         "_oldest",
+        "_arrays_version",
+        "_arrays_window",
+        "_arrays",
     )
 
     def __init__(self, channel_id: int, *, lists: "WaitingLists | None" = None) -> None:
@@ -96,6 +102,9 @@ class ChannelQueue:
         self._snap: tuple[SubmitEntry, ...] = ()
         self._oldest_version = -1
         self._oldest: float | None = None
+        self._arrays_version = -1
+        self._arrays_window: int | None = None
+        self._arrays = None  # kernel.PendingArrays mirror of the snapshot
 
     # ------------------------------------------------------------------
     # mutation
@@ -179,6 +188,11 @@ class ChannelQueue:
                 break
             head += 1
         self._head = head
+        # A workload whose entries only ever exit by state transition
+        # (no remove() calls) retires everything right here, so the
+        # compaction check must run here too or _slots grows without
+        # bound — remove() alone triggering it is not enough.
+        self._maybe_compact()
 
     def _maybe_compact(self) -> None:
         dead = self._head + self._garbage
@@ -231,9 +245,22 @@ class ChannelQueue:
         slots = self._slots
         for position in range(self._head, len(slots)):
             entry = slots[position]
+            if entry is None:
+                continue
             # ``_state`` read directly: the property indirection is
-            # measurable at snapshot-walk frequency.
-            if entry is None or entry._state not in _PENDING_STATES:
+            # measurable at snapshot-walk frequency — as is frozenset
+            # membership (enum hashing), hence the identity compares.
+            state = entry._state
+            if state is not _WAITING and state is not _RDV_READY:
+                if state is _SENT:
+                    # Retired mid-queue (striping finished its bytes on
+                    # another rail): blank it now so the dead slot counts
+                    # toward compaction instead of lingering until the
+                    # head happens to pass it.
+                    del self._index[entry.entry_id]
+                    entry._owner = None
+                    slots[position] = None
+                    self._garbage += 1
                 continue
             result.append(entry)
             if window is not None and len(result) >= window:
@@ -242,6 +269,33 @@ class ChannelQueue:
         self._snap_window = window
         self._snap_version = self._version
         return self._snap
+
+    def pending_arrays(self, window: int | None = None):
+        """Flat-array mirror of :meth:`pending_view` (same window).
+
+        Returns the active kernel backend's ``PendingArrays``: the
+        window's entries decomposed into parallel ``remaining`` /
+        ``submit_time`` / ``flow_id`` / ``dst`` / ``aggregatable`` /
+        ``state`` lists, so the decision kernel's candidate loop reads
+        list slots instead of chasing :class:`SubmitEntry` attributes.
+
+        Coherence rides the same version stamp as every other cached
+        read: any observable entry mutation notifies the queue (state
+        transitions, byte consumption) or passes through it (append /
+        remove), bumping ``_version`` and invalidating the mirror.  The
+        one meta flag the kernel consumes (``no_rdv``) is only ever set
+        while its entry is parked *outside* any queue, so re-enqueueing
+        it bumps the version too.
+        """
+        if self._arrays_version == self._version and self._arrays_window == window:
+            return self._arrays
+        from repro.core.kernel import PendingArrays
+
+        arrays = PendingArrays(self._snapshot(window))
+        self._arrays = arrays
+        self._arrays_window = window
+        self._arrays_version = self._version
+        return arrays
 
     @property
     def oldest_submit_time(self) -> float | None:

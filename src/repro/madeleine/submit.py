@@ -75,6 +75,7 @@ class SubmitEntry:
         "_state",
         "_owner",
         "flow",
+        "flow_id",
         "dst",
         "traffic_class",
         "fragment",
@@ -106,6 +107,10 @@ class SubmitEntry:
         self._state = EntryState.WAITING
         self._owner = None  # ChannelQueue holding this entry, if any
         self.flow = flow
+        #: Flat copy of ``flow.flow_id`` (``-1`` for engine control
+        #: entries) — the decision kernel's array mirror reads this
+        #: without chasing the flow object.
+        self.flow_id: int = flow.flow_id if flow is not None else -1
         self.dst = dst
         if traffic_class is not None:
             self.traffic_class = traffic_class

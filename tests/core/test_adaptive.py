@@ -116,6 +116,59 @@ class TestAdaptiveChannels:
         assert TrafficClass.PUTGET in policy.dedicated_classes
         assert len(pool) <= 2
 
+    def test_promoted_default_outranks_shared_channel(self):
+        """Regression: a promoted DEFAULT channel used to get service
+        rank 2 — the same rank as the shared channel — so the tie fell
+        through to channel-id order and the (older, lower-id) shared
+        channel was serviced ahead of the dedicated class that had just
+        earned its promotion.  Dedicated DEFAULT must rank strictly
+        after the shared channel never ties with anything."""
+        policy = AdaptiveChannels(promote_bytes=1 * KiB, window_dispatches=1)
+        pool = ChannelPool()
+        policy.setup(pool, max_channels=8)
+        shared = pool.channels[0].channel_id
+        policy.note_dispatch(shared, [(TrafficClass.DEFAULT, 2 * KiB)])
+        assert TrafficClass.DEFAULT in policy.dedicated_classes
+        default_id = pool.channel_for(TrafficClass.DEFAULT).channel_id
+
+        queues = [ChannelQueue(default_id), ChannelQueue(shared)]
+        ordered = policy.service_order(queues)
+        # Shared (mixed, latency-sensitive remainder) before dedicated
+        # DEFAULT — and unambiguously so, whichever order the queues
+        # arrive in.
+        assert [q.channel_id for q in ordered] == [shared, default_id]
+        reordered = policy.service_order(list(reversed(queues)))
+        assert [q.channel_id for q in reordered] == [shared, default_id]
+
+    def test_service_order_ranks_are_total(self):
+        """With every class promoted, the five channels order CONTROL,
+        PUTGET, shared, DEFAULT, BULK with no rank collisions."""
+        policy = AdaptiveChannels(promote_bytes=1 * KiB, window_dispatches=1)
+        pool = ChannelPool()
+        policy.setup(pool, max_channels=8)
+        shared = pool.channels[0].channel_id
+        for traffic_class in (
+            TrafficClass.BULK,
+            TrafficClass.DEFAULT,
+            TrafficClass.PUTGET,
+            TrafficClass.CONTROL,
+        ):
+            policy.note_dispatch(shared, [(traffic_class, 2 * KiB)])
+        assert len(policy.dedicated_classes) == 4
+        ids = {
+            traffic_class: pool.channel_for(traffic_class).channel_id
+            for traffic_class in policy.dedicated_classes
+        }
+        queues = [ChannelQueue(c.channel_id) for c in pool.channels]
+        ordered = [q.channel_id for q in policy.service_order(queues)]
+        assert ordered == [
+            ids[TrafficClass.CONTROL],
+            ids[TrafficClass.PUTGET],
+            shared,
+            ids[TrafficClass.DEFAULT],
+            ids[TrafficClass.BULK],
+        ]
+
     def test_respects_max_channels(self):
         policy = AdaptiveChannels(promote_bytes=1, window_dispatches=1)
         pool = ChannelPool()

@@ -1,9 +1,12 @@
-"""Property tests for the cost model: monotonicity and positivity."""
+"""Property tests for the cost model: monotonicity, positivity, and the
+three-way drift guard pinning ``score`` == ``breakdown`` == the batched
+kernel's packed scorer (dispatch order rides on exact float equality)."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import kernel
 from repro.core.cost import CostModel
 from repro.core.plan import PlanItem, TransferPlan
 from repro.madeleine.message import Flow
@@ -74,6 +77,56 @@ class TestCostProperties:
         fresh = model.score(plan, now=0.0)
         ancient = model.score(plan, now=1e6)
         assert ancient <= 2.0 * fresh + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        sizes=sizes_strategy,
+        now=st.floats(min_value=0.0, max_value=1e-2, allow_nan=False),
+    )
+    def test_breakdown_score_matches_score(self, sizes, now):
+        """breakdown() repeats the score arithmetic; the two must never
+        drift apart — not even in the last bit."""
+        driver, _ = make_driver(Simulator())
+        plan = plan_of_sizes(driver, sizes)
+        model = CostModel()
+        assert model.breakdown(plan, now)["score"] == model.score(plan, now)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        sizes=sizes_strategy,
+        submits=st.lists(
+            st.floats(min_value=0.0, max_value=1e-2, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        now=st.floats(min_value=0.0, max_value=2e-2, allow_nan=False),
+    )
+    def test_packed_score_matches_scalar(self, sizes, submits, now):
+        """The batched kernel's packed scorer reproduces CostModel.score
+        bit for bit from (n_items, payload, oldest_submit) aggregates —
+        the invariant the whole batched search's dispatch-order
+        equivalence rests on.  Submit times vary per item, so the
+        ``now - min(submit)`` vs ``max(now - submit)`` equivalence is
+        exercised too (including negative waits: *now* may precede a
+        submit time)."""
+        driver, _ = make_driver(Simulator())
+        flow = Flow("f", "n0", "n1")
+        items = [
+            PlanItem(data_entry(flow, s, submit_time=submits[i % len(submits)]), s)
+            for i, s in enumerate(sizes)
+        ]
+        plan = TransferPlan(driver, PacketKind.EAGER, "n1", 0, items)
+        model = CostModel()
+        consts = kernel.constants_for(driver)
+        assert consts.exact
+        packed = model.score_packed(
+            consts,
+            len(items),
+            plan.payload_bytes,
+            min(item.entry.submit_time for item in items),
+            now,
+        )
+        assert packed == model.score(plan, now)
 
     @settings(max_examples=40, deadline=None)
     @given(

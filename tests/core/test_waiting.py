@@ -123,6 +123,38 @@ class TestChannelQueue:
         assert q.pending() == entries[150:]
         assert q.recount() == (50, 500, entries[150].submit_time)
 
+    def test_slots_bounded_under_state_flip_retirement(self, flow):
+        """Regression: entries that exit by flipping to SENT (consume to
+        zero — the normal dispatch path) are nulled during pruning, but
+        compaction used to run only from ``remove()``.  A workload that
+        never calls remove() therefore grew ``_slots`` without bound.
+        N append/flip cycles must keep the slot list near the live set,
+        not near N."""
+        q = ChannelQueue(0)
+        cycles = 2000
+        for i in range(cycles):
+            e = data_entry(flow, 10)
+            q.append(e)
+            e.consume(10)  # SENT: retired by state flip, never removed
+            q.pending()  # a read, as every decision performs
+        assert len(q) == 0
+        # Bounded by the compaction hysteresis, not by the cycle count.
+        assert len(q._slots) < 200
+
+    def test_slots_bounded_with_persistent_tail(self, flow):
+        """Same, with a live tail entry keeping the queue non-empty the
+        whole time (mid-queue retirement, not just head advance)."""
+        q = ChannelQueue(0)
+        keeper = data_entry(flow, 10)
+        q.append(keeper)
+        for i in range(2000):
+            e = data_entry(flow, 10)
+            q.append(e)
+            e.consume(10)
+            q.pending()
+        assert q.pending() == [keeper]
+        assert len(q._slots) < 200
+
     def test_oldest_submit_time(self, flow):
         q = ChannelQueue(0)
         assert q.oldest_submit_time is None

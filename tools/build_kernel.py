@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Build the compiled decision kernel (``REPRO_KERNEL=compiled``).
+
+Compiles :mod:`repro.core._kernel_hot` — the one hot-path module, kept
+free of engine imports for exactly this purpose — into an extension
+module named ``repro.core._kernel_hot_c`` using mypyc (preferred) or
+Cython when available.  The kernel facade (:mod:`repro.core.kernel`)
+imports that module only when ``REPRO_KERNEL=compiled`` is set, and
+falls back to the pure-Python kernel with a warning when it is absent,
+so this script is strictly optional: nothing in the repository requires
+a compiler toolchain.
+
+Usage::
+
+    python tools/build_kernel.py            # build in-place under src/
+    python tools/build_kernel.py --check    # report toolchain, exit 0/1
+
+Exit status: 0 on success, 2 when no compiler toolchain is installed
+(graceful: the pure-Python kernel remains the default), 1 on a real
+build failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE = REPO / "src" / "repro" / "core" / "_kernel_hot.py"
+TARGET_STEM = "_kernel_hot_c"
+
+
+def _toolchain() -> str | None:
+    """Which compiler backend is importable, if any."""
+    try:
+        import mypyc  # noqa: F401
+
+        return "mypyc"
+    except ImportError:
+        pass
+    try:
+        import Cython  # noqa: F401
+
+        return "cython"
+    except ImportError:
+        return None
+
+
+def _build_mypyc(workdir: Path) -> Path:
+    """Compile with mypyc; returns the built extension's path."""
+    # mypyc names the extension after the module; compile a renamed
+    # copy so the pure-Python module stays importable side by side.
+    clone = workdir / f"{TARGET_STEM}.py"
+    shutil.copyfile(SOURCE, clone)
+    subprocess.run(
+        [sys.executable, "-m", "mypyc", clone.name],
+        cwd=workdir,
+        check=True,
+    )
+    built = sorted(workdir.glob(f"{TARGET_STEM}.*.so")) or sorted(
+        workdir.glob(f"{TARGET_STEM}*.pyd")
+    )
+    if not built:
+        raise FileNotFoundError("mypyc reported success but built no extension")
+    return built[0]
+
+
+def _build_cython(workdir: Path) -> Path:
+    """Compile with Cython in pure-Python mode; returns the extension."""
+    from Cython.Build import cythonize  # type: ignore[import-not-found]
+    from setuptools import Extension
+    from setuptools.dist import Distribution
+
+    clone = workdir / f"{TARGET_STEM}.py"
+    shutil.copyfile(SOURCE, clone)
+    ext_modules = cythonize(
+        [Extension(TARGET_STEM, [str(clone)])],
+        language_level=3,
+        quiet=True,
+    )
+    dist = Distribution({"ext_modules": ext_modules})
+    cmd = dist.get_command_obj("build_ext")
+    cmd.build_lib = str(workdir)  # type: ignore[union-attr]
+    cmd.build_temp = str(workdir / "tmp")  # type: ignore[union-attr]
+    dist.run_command("build_ext")
+    built = sorted(workdir.glob(f"{TARGET_STEM}.*.so")) or sorted(
+        workdir.glob(f"{TARGET_STEM}*.pyd")
+    )
+    if not built:
+        raise FileNotFoundError("cython reported success but built no extension")
+    return built[0]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only report whether a compiler toolchain is available",
+    )
+    args = parser.parse_args(argv)
+
+    backend = _toolchain()
+    if args.check:
+        if backend is None:
+            print("no compiler toolchain (mypyc/Cython) installed")
+            return 2
+        print(f"toolchain available: {backend}")
+        return 0
+    if backend is None:
+        print(
+            "no compiler toolchain (mypyc/Cython) installed; the pure-Python "
+            "kernel remains the default — nothing to do",
+            file=sys.stderr,
+        )
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-kernel-") as tmp:
+        workdir = Path(tmp)
+        try:
+            if backend == "mypyc":
+                built = _build_mypyc(workdir)
+            else:
+                built = _build_cython(workdir)
+        except Exception as exc:  # build failure is a real error
+            print(f"kernel build failed ({backend}): {exc}", file=sys.stderr)
+            return 1
+        dest = SOURCE.parent / built.name
+        shutil.copyfile(built, dest)
+    print(f"compiled kernel installed at {dest}")
+    print("activate it with REPRO_KERNEL=compiled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
