@@ -9,12 +9,14 @@ Usage::
     python -m repro live run scenario.json --serve :9464 --trace-out merged.json
     python -m repro obs analyze trace.json   # timelines + decision summary
     python -m repro obs diff base.json cand.json --check   # regression gate
+    python -m repro obs tail merged.jsonl --scenario s.json --check  # SLO gate
     python -m repro bench [ids] [--quick]  # alias for python -m repro.bench
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 import repro
@@ -106,6 +108,11 @@ def _cmd_run(args) -> int:
     print(f"throughput           : {format_rate(report.throughput)}")
     print(f"mean latency         : {report.latency.mean * 1e6:.2f} us")
     print(f"p99 latency          : {report.latency.p99 * 1e6:.2f} us")
+    if not math.isnan(report.latency_p99_us):
+        print(
+            f"sketch p99 / p999    : {report.latency_p99_us:.2f} / "
+            f"{report.latency_p999_us:.2f} us"
+        )
     print(f"network transactions : {report.network_transactions}")
     print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
     print(f"rendezvous transfers : {report.rdv_count}")
@@ -202,6 +209,7 @@ def _cmd_live_run(args) -> int:
             "clock_offsets": result.offsets,
             "crossings_matched": result.crossings_matched,
             "crossings_clamped": result.crossings_clamped,
+            "tails": result.tails,
             "dead_peers": [
                 {
                     "rank": d.rank,
@@ -222,6 +230,11 @@ def _cmd_live_run(args) -> int:
     print(f"throughput           : {format_rate(report.throughput)}")
     print(f"mean latency         : {report.latency.mean * 1e6:.2f} us")
     print(f"p99 latency          : {report.latency.p99 * 1e6:.2f} us")
+    if not math.isnan(report.latency_p99_us):
+        print(
+            f"sketch p99 / p999    : {report.latency_p99_us:.2f} / "
+            f"{report.latency_p999_us:.2f} us"
+        )
     print(f"network transactions : {report.network_transactions}")
     print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
     print(f"rendezvous transfers : {report.rdv_count}")
@@ -268,6 +281,12 @@ def _cmd_obs_diff(args) -> int:
     from repro.obs.diff import main as diff_main
 
     return diff_main(args)
+
+
+def _cmd_obs_tail(args) -> int:
+    from repro.obs.tails import main as tail_main
+
+    return tail_main(args)
 
 
 def _cmd_bench(args) -> int:
@@ -435,6 +454,31 @@ def main(argv: list[str] | None = None) -> int:
         help="exit nonzero when any non-ignored metric regressed",
     )
     diff_parser.set_defaults(func=_cmd_obs_diff)
+
+    tail_parser = obs_sub.add_parser(
+        "tail",
+        help="per-edge tail-latency report + SLO burn rates from a trace",
+    )
+    tail_parser.add_argument(
+        "trace", help="trace file (.jsonl or Chrome JSON; merged live or sim)"
+    )
+    tail_parser.add_argument(
+        "--scenario",
+        metavar="PATH",
+        help=(
+            "scenario JSON whose observability.slo block defines the "
+            "objectives to evaluate (multi-window burn rates)"
+        ),
+    )
+    tail_parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit nonzero when no edge was correlated or any SLO is "
+            "violated in every configured window"
+        ),
+    )
+    tail_parser.set_defaults(func=_cmd_obs_tail)
 
     bench_parser = subparsers.add_parser("bench", help="run experiments")
     bench_parser.add_argument("experiments", nargs="*", metavar="ID")

@@ -121,6 +121,11 @@ class CommEngineBase:
         self._pumping = False
         self._hold_timer: Event | None = None
         self._hold_wake = float("inf")
+        #: Read-only tail statistics, set by the observability plane at
+        #: install time (None without a plane).  Consulted only on the
+        #: tracing-gated decide-record path: strategies do not act on
+        #: it yet, so dispatch stays identical with or without it.
+        self.tail_view = None
 
         self.policy.setup(node.channels, min(d.caps.max_channels for d in self.drivers))
         self.policy.bind(self)
@@ -284,6 +289,10 @@ class CommEngineBase:
         explain = self.strategy.explain_last()
         if explain:
             detail.update(explain)
+        if self.tail_view is not None:
+            hint = self.tail_view.hint(self.node_name, plan.dst, plan.driver.name)
+            if hint is not None:
+                detail["tail_hint"] = hint
         tracer.emit(
             self.sim.now, f"engine:{self.node_name}", "optimizer.decide", **detail
         )

@@ -55,7 +55,7 @@ import sys
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.live.chaos import ChaosConfig
@@ -64,12 +64,20 @@ from repro.network.virtual import TrafficClass
 from repro.obs.merge import (
     MergedTrace,
     OffsetSample,
+    aggregate_registries,
     align_events,
+    correct_edge_sketches,
     estimate_offsets,
     extract_crossings,
     merge_registries,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tails import (
+    SLObjective,
+    TailView,
+    parse_slo,
+    pooled_message_sketch,
+)
 from repro.obs.serve import ObsHTTPServer, parse_serve_address
 from repro.runtime.metrics import LatencySummary, MessageRecord, SessionReport
 from repro.util.errors import ConfigurationError, TransportError
@@ -100,6 +108,10 @@ class LiveRunResult:
     #: Cluster-level registry (every peer's metrics, ``peer``-labelled);
     #: None when the run carried no observability.
     cluster_registry: MetricsRegistry | None = None
+    #: Offset-corrected cluster tail view (``TailView.snapshot()`` shape:
+    #: per-edge/per-rail/per-node p50..p999 plus SLO burn rates); empty
+    #: when the run carried no observability.
+    tails: dict[str, Any] = field(default_factory=dict)
     #: Peers declared dead mid-run (empty on a clean run).  When
     #: non-empty, ``report.degraded`` is True and the report merges only
     #: the survivors' views.
@@ -123,9 +135,14 @@ class _ObsState:
     :meth:`metrics_text`/:meth:`status` whenever a client asks.
     """
 
-    def __init__(self, scenario_name: str) -> None:
+    def __init__(
+        self,
+        scenario_name: str,
+        objectives: tuple[SLObjective, ...] = (),
+    ) -> None:
         self._lock = threading.Lock()
         self._scenario = scenario_name
+        self._objectives = objectives
         self._started = time.time()
         self._metrics_by_peer: dict[str, Mapping[str, Any]] = {}
         self._status: dict[str, Any] = {"phase": "starting"}
@@ -147,6 +164,24 @@ class _ObsState:
         with self._lock:
             per_peer = dict(self._metrics_by_peer)
         return merge_registries(per_peer).to_prometheus()
+
+    def tails(self) -> dict[str, Any]:
+        """In-flight cluster tail view for ``GET /tails``.
+
+        Aggregates the latest per-peer sketch snapshots (series never
+        collide across peers — edge sketches live at the receiver, rail
+        and message sketches carry the owning node in their labels).
+        Mid-run edge latencies are *raw-clock* differences; the exact
+        offset-corrected view is the post-run :attr:`LiveRunResult.tails`.
+        """
+        with self._lock:
+            per_peer = dict(self._metrics_by_peer)
+        view = TailView(
+            aggregate_registries(per_peer.values()), self._objectives
+        )
+        payload = view.snapshot()
+        payload["note"] = "mid-run edge latencies are raw-clock (uncorrected)"
+        return payload
 
     def status(self) -> dict[str, Any]:
         with self._lock:
@@ -481,8 +516,9 @@ def run_live_scenario(
     ``{"trace": True}``); with tracing on, each peer's spool is drained
     every poll and the result carries one aligned merged trace.
     ``serve`` (``"PORT"``/``":PORT"``/``"HOST:PORT"``) additionally
-    exposes live cluster ``/metrics`` (Prometheus text) and ``/status``
-    (JSON) for the duration of the run.
+    exposes live cluster ``/metrics`` (Prometheus text), ``/status``
+    (JSON), ``/peers`` (liveness) and ``/tails`` (tail-latency view)
+    for the duration of the run.
 
     A scenario ``"faults"`` block arms chaos injection *and* the
     coordinator watchdog: peers that die mid-run are declared dead,
@@ -510,6 +546,10 @@ def run_live_scenario(
     if trace:
         obs_spec.setdefault("trace", True)
     trace_on = bool(obs_spec.get("trace"))
+    # Validate SLO objectives before any peer is spawned (peers re-parse
+    # their own copy); the coordinator needs them for /tails and the
+    # post-run burn-rate verdicts.
+    slo_objectives = parse_slo(obs_spec.get("slo"))
     # Serving live metrics needs registry snapshots flowing even when
     # nobody asked for trace events; flushing is cheap either way.
     flushing = trace_on or serve is not None
@@ -524,7 +564,7 @@ def run_live_scenario(
     deadline = time.time() + timeout
     peers: list[_Peer] = []
     server: ObsHTTPServer | None = None
-    obs_state = _ObsState(str(scenario.get("name", "live")))
+    obs_state = _ObsState(str(scenario.get("name", "live")), slo_objectives)
     try:
         # Append as we spawn: if a later _Peer fails to construct, the
         # finally-sweep still kills the children already forked.
@@ -535,11 +575,13 @@ def run_live_scenario(
         if serve_host is not None:
             server = ObsHTTPServer(
                 obs_state.metrics_text, obs_state.status, obs_state.peers,
+                obs_state.tails,
                 host=serve_host, port=serve_port,
             )
             server.start()
             print(
-                f"[repro.live] serving /metrics and /status on {server.address}",
+                f"[repro.live] serving /metrics, /status, /peers and /tails "
+                f"on {server.address}",
                 file=sys.stderr,
             )
         endpoints: dict[int, dict[str, Any]] = {}
@@ -824,6 +866,26 @@ def run_live_scenario(
     cluster_registry = (
         merge_registries(obs.metrics_by_peer) if obs.metrics_by_peer else None
     )
+    # Post-run tail view: collapse the per-peer sketches into cluster
+    # series, then apply the estimated clock offsets to the edge
+    # sketches — exact, because every sample on a directed edge needs
+    # the same constant correction (see correct_edge_sketches).
+    tails: dict[str, Any] = {}
+    if obs.metrics_by_peer:
+        aggregated = aggregate_registries(obs.metrics_by_peer.values())
+        corrected = correct_edge_sketches(aggregated, merged.offsets)
+        tail_view = TailView(aggregated, slo_objectives)
+        tails = tail_view.snapshot()
+        tails["edges_offset_corrected"] = corrected
+        # The report's tail columns come from the pooled message-latency
+        # sketch (all nodes merged), same source the sim plane uses.
+        pooled = pooled_message_sketch(aggregated)
+        if pooled is not None:
+            report = replace(
+                report,
+                latency_p99_us=pooled.quantile(0.99),
+                latency_p999_us=pooled.quantile(0.999),
+            )
     rtts = [
         sample
         for p in peer_reports
@@ -841,5 +903,6 @@ def run_live_scenario(
         crossings_matched=merged.crossings_matched,
         crossings_clamped=merged.crossings_clamped,
         cluster_registry=cluster_registry,
+        tails=tails,
         dead_peers=dead_peers,
     )

@@ -168,4 +168,7 @@ class LiveNIC(NIC):
         self.stats.busy_time += measured
         self.last_drain = measured
         self.drains += 1
+        # The inherited _complete() emits nic.idle, which both closes
+        # the Perfetto send span and ends the tail recorder's per-rail
+        # service-time span (send -> drained, measured not modeled).
         self._complete()

@@ -120,9 +120,15 @@ class LiveSampler(ObservabilitySampler):
         *,
         registry=None,
         source: str = "obs:sampler",
+        tail_view=None,
     ) -> None:
         super().__init__(
-            adapter, interval, registry=registry, source=source, autostart=False
+            adapter,
+            interval,
+            registry=registry,
+            source=source,
+            autostart=False,
+            tail_view=tail_view,
         )
         self._clock = adapter.sim
         self._handle: Any = None

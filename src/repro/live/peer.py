@@ -1013,6 +1013,7 @@ class LivePeer:
                 sample_interval=None,
                 ring_buffer=ring if ring is not None else _RING_DEFAULT,
                 trace=self.obs_config.trace,
+                slo=self.obs_config.slo,
             )
         )
         self.obs_adapter = PeerClusterAdapter(
@@ -1034,6 +1035,7 @@ class LivePeer:
                 self.obs_config.sample_interval,
                 registry=self.plane.registry,
                 source=f"obs:{self.local}",
+                tail_view=self.plane.tail_view,
             )
         self._flushed = False
 

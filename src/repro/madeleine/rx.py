@@ -208,6 +208,7 @@ class MessageReassembler:
                 message=message.message_id,
                 flow=message.flow.name,
                 bytes=message.total_size,
+                submit_time=message.submit_time,
             )
         message.completion.resolve(now)
         if self.on_message_complete is not None:

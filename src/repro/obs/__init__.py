@@ -36,16 +36,35 @@ from repro.obs.merge import (
     OffsetSample,
     aggregate_registries,
     align_events,
+    correct_edge_sketches,
     estimate_offsets,
     extract_crossings,
     merge_histograms,
     merge_registries,
+    merge_sketches,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
 from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.obs.recorder import ListSink, RingBufferSink
 from repro.obs.sampler import ObservabilitySampler, ObsSample
 from repro.obs.serve import ObsHTTPServer, parse_serve_address
+from repro.obs.tails import (
+    SLObjective,
+    SLOStatus,
+    TailRecorder,
+    TailStats,
+    TailView,
+    evaluate_slo,
+    evaluate_slo_offline,
+    parse_slo,
+    pooled_message_sketch,
+)
 
 __all__ = [
     "Counter",
@@ -61,15 +80,27 @@ __all__ = [
     "ObservabilityPlane",
     "ObservabilitySampler",
     "OffsetSample",
+    "QuantileSketch",
     "RingBufferSink",
+    "SLObjective",
+    "SLOStatus",
+    "TailRecorder",
+    "TailStats",
+    "TailView",
     "aggregate_registries",
     "align_events",
+    "correct_edge_sketches",
     "estimate_offsets",
+    "evaluate_slo",
+    "evaluate_slo_offline",
     "extract_crossings",
     "load_events",
     "merge_histograms",
     "merge_registries",
+    "merge_sketches",
     "parse_serve_address",
+    "parse_slo",
+    "pooled_message_sketch",
     "to_chrome_trace",
     "write_trace",
 ]

@@ -95,14 +95,25 @@ class _EdgeStats:
     """One-way latency samples for one ``src->dst`` wire edge."""
 
     latencies: list[float] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)  #: arrival times (parallel)
     clamped: int = 0  #: crossings whose aligned latency was clamped to 0
 
     def percentile(self, q: float) -> float:
+        """Linearly interpolated quantile (numpy's default definition).
+
+        Rank ``q * (n - 1)`` interpolates between the two straddling
+        order statistics, so p99 of 200 samples no longer snaps to a
+        single sample the way nearest-rank did — this is the exact
+        reference the online sketches are tested against.
+        """
         if not self.latencies:
             return 0.0
         ordered = sorted(self.latencies)
-        index = min(int(q * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        rank = max(0.0, min(q, 1.0)) * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] + fraction * (ordered[upper] - ordered[lower])
 
     @property
     def count(self) -> int:
@@ -248,6 +259,7 @@ def _ingest_crossing(analysis: TraceAnalysis, event: TraceEvent) -> None:
         latency = 0.0
         edge.clamped += 1
     edge.latencies.append(latency)
+    edge.times.append(event.time)
 
 
 def _ingest_send(analysis: TraceAnalysis, event: TraceEvent) -> None:
@@ -351,6 +363,8 @@ def render(analysis: TraceAnalysis, *, width: int = 60, top: int = 5) -> str:
                 f"  {edge_name:<{name_width}}  n={edge.count:<6} "
                 f"p50 {format_time(edge.percentile(0.50))}  "
                 f"p90 {format_time(edge.percentile(0.90))}  "
+                f"p99 {format_time(edge.percentile(0.99))}  "
+                f"p999 {format_time(edge.percentile(0.999))}  "
                 f"max {format_time(edge.percentile(1.0))}{clamp}"
             )
 
@@ -446,6 +460,8 @@ def summary_metrics(analysis: TraceAnalysis) -> dict[str, float]:
         out[f"{prefix}/crossings"] = float(edge.count)
         out[f"{prefix}/latency_p50_us"] = edge.percentile(0.50) * 1e6
         out[f"{prefix}/latency_p90_us"] = edge.percentile(0.90) * 1e6
+        out[f"{prefix}/latency_p99_us"] = edge.percentile(0.99) * 1e6
+        out[f"{prefix}/latency_p999_us"] = edge.percentile(0.999) * 1e6
         out[f"{prefix}/latency_max_us"] = edge.percentile(1.0) * 1e6
     for wire_name, wire in sorted(analysis.wire_agg.items()):
         prefix = f"wire/{wire_name}"

@@ -42,6 +42,7 @@ WORSE_IF_HIGHER = (
     "retransmit",
     "timeout",
     "starv",
+    "burn",
     "_us",
 )
 

@@ -28,7 +28,15 @@ process*.  This module turns those fragments into one coherent picture:
   instruments across inputs instead: counters sum (associative and
   commutative), gauges take the last writer, histograms merge
   bucket-wise — which equals the histogram of the union of the raw
-  observations because bucket bounds are fixed at construction.
+  observations because bucket bounds are fixed at construction — and
+  quantile sketches merge level-wise (:func:`merge_sketches`), which
+  replaces raw-sample pooling for cross-peer tail percentiles.
+* **Sketch offset correction** — a live peer records one-way edge
+  latencies against *raw* clocks (it cannot know the cluster offsets
+  mid-run).  Because every sample on a directed edge needs the same
+  constant correction, :func:`correct_edge_sketches` applies it exactly,
+  post-merge, by shifting each edge sketch — the sketch equivalent of
+  the per-event rewrite :func:`align_events` does for trace records.
 """
 
 from __future__ import annotations
@@ -36,7 +44,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
 from repro.util.errors import ConfigurationError
 from repro.util.tracing import TraceEvent
 
@@ -51,6 +65,8 @@ __all__ = [
     "merge_registries",
     "aggregate_registries",
     "merge_histograms",
+    "merge_sketches",
+    "correct_edge_sketches",
 ]
 
 #: Trace-event kind emitted by a live peer when a wire frame is decoded
@@ -251,7 +267,7 @@ def _as_registry(source: "MetricsRegistry | Mapping[str, Any]") -> MetricsRegist
 
 
 def _snapshot_entry(
-    metric: "Counter | Gauge | Histogram",
+    metric: "Counter | Gauge | Histogram | QuantileSketch",
     help_text: str,
     labels: Mapping[str, str],
 ) -> dict[str, Any]:
@@ -277,6 +293,8 @@ def _snapshot_entry(
             total=metric.total,
             count=metric.count,
         )
+    elif isinstance(metric, QuantileSketch):
+        entry.update(metric.state())
     else:
         entry["value"] = metric.value
     return entry
@@ -333,16 +351,29 @@ def merge_histograms(target: Histogram, source: Histogram) -> Histogram:
     return target
 
 
+def merge_sketches(target: QuantileSketch, source: QuantileSketch) -> QuantileSketch:
+    """Level-wise merge of ``source`` into ``target`` (same ``k``).
+
+    Weight conservation makes the merged sketch summarize exactly the
+    union of both raw streams, so merged quantiles match pooled-stream
+    quantiles within the sketch's rank-error bound — associatively and
+    commutatively, which is what lets cross-peer tail percentiles drop
+    raw-sample pooling entirely.
+    """
+    return target.merge(source)
+
+
 def aggregate_registries(
     sources: Iterable["MetricsRegistry | Mapping[str, Any]"],
 ) -> MetricsRegistry:
     """Collapse same-series instruments across inputs into totals.
 
     Counters sum (so the operation is associative and commutative up to
-    float addition), gauges keep the last writer in input order, and
-    histograms merge bucket-wise via :func:`merge_histograms`.  Inputs
-    disagreeing on a metric's *kind* are a configuration error, same as
-    within one registry.
+    float addition), gauges keep the last writer in input order,
+    histograms merge bucket-wise via :func:`merge_histograms`, and
+    quantile sketches merge level-wise via :func:`merge_sketches`.
+    Inputs disagreeing on a metric's *kind* are a configuration error,
+    same as within one registry.
     """
     out = MetricsRegistry()
     for source in sources:
@@ -354,18 +385,56 @@ def aggregate_registries(
                 out.counter(metric.name, labels, help=help_text).inc(metric.value)
             elif isinstance(metric, Gauge):
                 out.gauge(metric.name, labels, help=help_text).set(metric.value)
-            elif isinstance(metric, Histogram):
+            elif isinstance(metric, (Histogram, QuantileSketch)):
+                kind = metric.kind
                 known = out._kinds.get(metric.name)
-                if known is not None and known != "histogram":
+                if known is not None and known != kind:
                     raise ConfigurationError(
-                        f"metric {metric.name!r} is a {known}, not a histogram"
+                        f"metric {metric.name!r} is a {known}, not a {kind}"
                     )
                 existing = out.get(metric.name, labels)
                 if existing is None:
                     out._insert_snapshot_entry(
                         _snapshot_entry(metric, help_text, labels)
                     )
-                else:
+                elif isinstance(metric, Histogram):
                     assert isinstance(existing, Histogram)
                     merge_histograms(existing, metric)
+                else:
+                    assert isinstance(existing, QuantileSketch)
+                    merge_sketches(existing, metric)
     return out
+
+
+def correct_edge_sketches(
+    registry: MetricsRegistry, offsets: Mapping[str, float]
+) -> int:
+    """Apply clock-offset corrections to the edge latency sketches.
+
+    A peer records edge latency as ``recv@dst_clock - sent@src_clock``;
+    with per-peer offsets (peer clock minus the merged timeline) the
+    true latency adds ``offsets[src] - offsets[dst]`` — one constant per
+    directed edge, so shifting the finished sketch is *exact*, not an
+    approximation.  Negative corrected values clamp to zero, mirroring
+    :func:`align_events`.  Returns the number of sketches corrected.
+
+    Mutates ``registry`` in place; call once, on the coordinator's
+    aggregated registry, after :func:`estimate_offsets`.
+    """
+    from repro.obs.tails import EDGE_METRIC
+
+    corrected = 0
+    for sketch in registry.sketches():
+        if sketch.name != EDGE_METRIC or sketch.count == 0:
+            continue
+        labels = dict(sketch.labels)
+        src = labels.get("src")
+        dst = labels.get("dst")
+        if src is None or dst is None:
+            continue
+        delta_us = (
+            float(offsets.get(src, 0.0)) - float(offsets.get(dst, 0.0))
+        ) * 1e6
+        sketch.shift(delta_us, floor=0.0)
+        corrected += 1
+    return corrected

@@ -22,9 +22,10 @@ from __future__ import annotations
 import re
 from typing import Any, Iterable, Mapping
 
+from repro.obs.sketch import DEFAULT_K, SUMMARY_QUANTILES, QuantileSketch
 from repro.util.errors import ConfigurationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "QuantileSketch", "MetricsRegistry"]
 
 #: Frozen label form: sorted (key, value) pairs.
 LabelKey = tuple[tuple[str, str], ...]
@@ -190,6 +191,31 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Finds the bucket containing rank ``q * count`` and linearly
+        interpolates within it, so the estimate is exact to within one
+        bucket's width — with geometric bounds, a *relative* error of at
+        most ``growth - 1``.  The +Inf bucket has no upper bound, so
+        ranks landing there return the last finite bound (a documented
+        underestimate; use a sketch when the tail matters).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.counts):
+            if n and running + n >= target:
+                fraction = (target - running) / n
+                return lower + fraction * (bound - lower)
+            running += n
+            lower = bound
+        return self.bounds[-1]
+
     @classmethod
     def _restore(
         cls,
@@ -221,16 +247,18 @@ class Histogram:
 class MetricsRegistry:
     """Named instruments plus the Prometheus text renderer.
 
-    ``counter``/``gauge``/``histogram`` are get-or-create: the first
-    call fixes the instrument's type and (for histograms) bucketing;
-    re-requesting the same name with a different type is an error — two
-    components silently writing different shapes to one name would
-    corrupt the export.
+    ``counter``/``gauge``/``histogram``/``sketch`` are get-or-create:
+    the first call fixes the instrument's type and (for histograms)
+    bucketing; re-requesting the same name with a different type is an
+    error — two components silently writing different shapes to one
+    name would corrupt the export.
     """
 
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
-        self._metrics: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+        self._metrics: dict[
+            tuple[str, LabelKey], Counter | Gauge | Histogram | QuantileSketch
+        ] = {}
         self._help: dict[str, str] = {}
         self._kinds: dict[str, str] = {}
 
@@ -300,10 +328,21 @@ class MetricsRegistry:
             n_buckets=n_buckets,
         )
 
+    def sketch(
+        self,
+        name: str,
+        labels: Mapping[str, object] | None = None,
+        help: str = "",
+        *,
+        k: int = DEFAULT_K,
+    ) -> QuantileSketch:
+        """Get or create the quantile sketch (``k`` fixed on first call)."""
+        return self._get(QuantileSketch, "sketch", name, labels, help, k=k)
+
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
-    def __iter__(self) -> "Iterable[Counter | Gauge | Histogram]":
+    def __iter__(self) -> "Iterable[Counter | Gauge | Histogram | QuantileSketch]":
         return iter(self._metrics.values())
 
     def __len__(self) -> int:
@@ -311,16 +350,24 @@ class MetricsRegistry:
 
     def get(
         self, name: str, labels: Mapping[str, object] | None = None
-    ) -> "Counter | Gauge | Histogram | None":
+    ) -> "Counter | Gauge | Histogram | QuantileSketch | None":
         """The instrument at ``(name, labels)``, or None."""
         return self._metrics.get((name, _freeze_labels(labels)))
+
+    def sketches(self) -> "Iterable[QuantileSketch]":
+        """All sketch instruments, in sorted ``(name, labels)`` order."""
+        return [
+            metric
+            for (_, _), metric in sorted(self._metrics.items())
+            if isinstance(metric, QuantileSketch)
+        ]
 
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def to_prometheus(self) -> str:
         """Render the standard Prometheus text exposition format."""
-        by_name: dict[str, list[Counter | Gauge | Histogram]] = {}
+        by_name: dict[str, list[Counter | Gauge | Histogram | QuantileSketch]] = {}
         for (name, _), metric in sorted(self._metrics.items()):
             by_name.setdefault(name, []).append(metric)
         lines: list[str] = []
@@ -328,13 +375,27 @@ class MetricsRegistry:
             help_text = self._help.get(name)
             if help_text:
                 lines.append(f"# HELP {name} {_escape_help(help_text)}")
-            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            # Sketches render as the Prometheus `summary` type: the
+            # exposition format has no native sketch kind, and summary
+            # (pre-computed quantiles + sum + count) is exactly the view
+            # a scraper wants.
+            exposed_kind = "summary" if self._kinds[name] == "sketch" else self._kinds[name]
+            lines.append(f"# TYPE {name} {exposed_kind}")
             for metric in metrics:
                 if isinstance(metric, Histogram):
                     for bound, cum in metric.cumulative():
                         le = "+Inf" if bound == float("inf") else _num(bound)
                         label_text = _format_labels(metric.labels, (("le", le),))
                         lines.append(f"{name}_bucket{label_text} {cum}")
+                    label_text = _format_labels(metric.labels)
+                    lines.append(f"{name}_sum{label_text} {_num(metric.total)}")
+                    lines.append(f"{name}_count{label_text} {metric.count}")
+                elif isinstance(metric, QuantileSketch):
+                    for q in SUMMARY_QUANTILES:
+                        label_text = _format_labels(
+                            metric.labels, (("quantile", _num(q)),)
+                        )
+                        lines.append(f"{name}{label_text} {_num(metric.quantile(q))}")
                     label_text = _format_labels(metric.labels)
                     lines.append(f"{name}_sum{label_text} {_num(metric.total)}")
                     lines.append(f"{name}_count{label_text} {metric.count}")
@@ -370,6 +431,8 @@ class MetricsRegistry:
                     total=metric.total,
                     count=metric.count,
                 )
+            elif isinstance(metric, QuantileSketch):
+                entry.update(metric.state())
             else:
                 entry["value"] = metric.value
             metrics.append(entry)
@@ -398,7 +461,7 @@ class MetricsRegistry:
             raise ConfigurationError(
                 f"duplicate snapshot series {name!r} {dict(labels)!r}"
             )
-        metric: Counter | Gauge | Histogram
+        metric: Counter | Gauge | Histogram | QuantileSketch
         if kind == "counter":
             metric = Counter(name, labels)
             metric.value = float(entry.get("value", 0.0))
@@ -415,6 +478,8 @@ class MetricsRegistry:
                 float(entry.get("total", 0.0)),
                 int(entry.get("count", 0)),
             )
+        elif kind == "sketch":
+            metric = QuantileSketch._restore(name, labels, entry)
         else:
             raise ConfigurationError(f"unknown metric kind {kind!r} in snapshot")
         self._metrics[key] = metric

@@ -19,7 +19,11 @@ Scenarios opt in with a top-level ``"observability"`` block::
     "observability": {
       "sample_interval": 1e-5,     # simulated seconds; null disables
       "ring_buffer": 65536,        # keep last N events; null = keep all
-      "trace": true                # capture trace events at all
+      "trace": true,               # capture trace events at all
+      "slo": [                     # latency objectives (see obs.tails)
+        {"name": "edge", "edge": "*", "threshold_us": 5000,
+         "target": 0.99, "windows": [1.0, 10.0]}
+      ]
     }
 
 Unknown keys are rejected (:class:`ConfigurationError`), same contract
@@ -37,6 +41,7 @@ from repro.obs.export import write_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import ListSink, RingBufferSink
 from repro.obs.sampler import ObservabilitySampler
+from repro.obs.tails import SLObjective, TailRecorder, TailView, parse_slo
 from repro.util.errors import ConfigurationError
 from repro.util.tracing import TraceEvent
 
@@ -45,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["ObservabilityConfig", "ObservabilityPlane"]
 
-_SPEC_KEYS = frozenset({"sample_interval", "ring_buffer", "trace"})
+_SPEC_KEYS = frozenset({"sample_interval", "ring_buffer", "trace", "slo"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,12 +67,17 @@ class ObservabilityConfig:
     trace:
         When false, no trace sink is subscribed — the plane only
         samples into the metrics registry, and the per-event emit
-        sites stay on their disabled fast path.
+        sites stay on their disabled fast path.  Tail sketches ride
+        the same subscription, so they are also off.
+    slo:
+        Latency objectives evaluated over the edge tail sketches
+        (see :mod:`repro.obs.tails`).
     """
 
     sample_interval: float | None = None
     ring_buffer: int | None = None
     trace: bool = True
+    slo: tuple[SLObjective, ...] = ()
 
     def __post_init__(self) -> None:
         if self.sample_interval is not None and self.sample_interval <= 0:
@@ -91,6 +101,7 @@ class ObservabilityConfig:
             sample_interval=spec.get("sample_interval"),
             ring_buffer=spec.get("ring_buffer"),
             trace=spec.get("trace", True),
+            slo=parse_slo(spec.get("slo")),
         )
 
 
@@ -102,6 +113,8 @@ class ObservabilityPlane:
         self.registry = MetricsRegistry()
         self.sink: ListSink | RingBufferSink | None = None
         self.sampler: ObservabilitySampler | None = None
+        self.tail_view = TailView(self.registry, self.config.slo)
+        self.tail_recorder: TailRecorder | None = None
         self._cluster: "Cluster | None" = None
         if self.config.trace:
             self.sink = (
@@ -109,6 +122,7 @@ class ObservabilityPlane:
                 if self.config.ring_buffer is not None
                 else ListSink()
             )
+            self.tail_recorder = TailRecorder(self.registry)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -120,9 +134,19 @@ class ObservabilityPlane:
         self._cluster = cluster
         if self.sink is not None:
             cluster.sim.tracer.subscribe(self.sink)
+        if self.tail_recorder is not None:
+            cluster.sim.tracer.subscribe(self.tail_recorder)
+        # The view is read-only and only feeds tracing-side records
+        # (tail_hint), so handing it to every engine cannot change
+        # dispatch — the identity tests pin that.
+        for engine in cluster.engines.values():
+            engine.tail_view = self.tail_view
         if self.config.sample_interval is not None:
             self.sampler = ObservabilitySampler(
-                cluster, self.config.sample_interval, registry=self.registry
+                cluster,
+                self.config.sample_interval,
+                registry=self.registry,
+                tail_view=self.tail_view,
             )
 
     def finalize(self) -> None:

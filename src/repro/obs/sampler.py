@@ -30,6 +30,7 @@ from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tails import TailView
     from repro.runtime.cluster import Cluster
 
 __all__ = ["ObsSample", "ObservabilitySampler"]
@@ -64,6 +65,7 @@ class ObservabilitySampler:
         horizon: float | None = None,
         source: str = "obs:sampler",
         autostart: bool = True,
+        tail_view: "TailView | None" = None,
     ) -> None:
         if interval <= 0:
             raise ConfigurationError(f"sample interval must be > 0, got {interval}")
@@ -73,6 +75,10 @@ class ObservabilitySampler:
         self.interval = interval
         self.horizon = horizon
         self.registry = registry
+        #: When set, each tick embeds compact per-edge p99s in its
+        #: ``obs.sample`` record so the Perfetto export can draw tail
+        #: counter tracks over time.
+        self.tail_view = tail_view
         #: Trace source the tick emits under; live peers use ``obs:<node>``
         #: so merged multi-process traces attribute samples to a peer.
         self.source = source
@@ -114,10 +120,7 @@ class ObservabilitySampler:
             self._update_registry(sample)
         tracer = cluster.sim.tracer
         if tracer.enabled:
-            tracer.emit(
-                now,
-                self.source,
-                "obs.sample",
+            detail = dict(
                 queues={k: list(v) for k, v in sample.queues.items()},
                 nic_busy=sample.nic_busy,
                 backlog=sample.backlog,
@@ -127,6 +130,14 @@ class ObservabilitySampler:
                 holds_armed=sample.holds_armed,
                 completed=sample.messages_completed,
             )
+            if self.tail_view is not None:
+                tails = {
+                    edge: stats.p99_us
+                    for edge, stats in self.tail_view.edges().items()
+                }
+                if tails:
+                    detail["tail_p99_us"] = tails
+            tracer.emit(now, self.source, "obs.sample", **detail)
         return sample
 
     def _snapshot(self, now: float) -> ObsSample:

@@ -9,6 +9,9 @@ is in flight:
   counts, clock offsets, trace accounting) for humans and scripts.
 * ``GET /peers`` — liveness: which peers are alive, which the watchdog
   has declared dead (and why), with time-to-detect per declaration.
+* ``GET /tails`` — JSON tail-latency view: per-edge/per-rail
+  p50/p90/p99/p999 from the merged quantile sketches plus SLO burn
+  rates (see :mod:`repro.obs.tails`).
 
 The server is deliberately tiny: a hand-rolled HTTP/1.0 responder on
 ``asyncio`` streams, no routing table, no keep-alive, no dependencies.
@@ -65,6 +68,9 @@ class ObsHTTPServer:
     peers:
         Optional zero-arg callable returning a JSON-able dict for
         ``/peers`` (liveness view); without it the route 404s.
+    tails:
+        Optional zero-arg callable returning a JSON-able dict for
+        ``/tails`` (tail-latency view); without it the route 404s.
     host, port:
         Bind address.  ``port=0`` picks a free port; read it back from
         :attr:`port` after :meth:`start`.
@@ -75,6 +81,7 @@ class ObsHTTPServer:
         metrics_text: Callable[[], str],
         status: Callable[[], Mapping[str, Any]],
         peers: Callable[[], Mapping[str, Any]] | None = None,
+        tails: Callable[[], Mapping[str, Any]] | None = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -82,6 +89,7 @@ class ObsHTTPServer:
         self._metrics_text = metrics_text
         self._status = status
         self._peers = peers
+        self._tails = tails
         self._host = host
         self._port = port
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -219,10 +227,13 @@ class ObsHTTPServer:
             if route == "/peers" and self._peers is not None:
                 body = json.dumps(dict(self._peers()), indent=2, sort_keys=True)
                 return "200 OK", "application/json", (body + "\n").encode("utf-8")
+            if route == "/tails" and self._tails is not None:
+                body = json.dumps(dict(self._tails()), indent=2, sort_keys=True)
+                return "200 OK", "application/json", (body + "\n").encode("utf-8")
         except Exception as exc:  # callback failure must not kill the server
             return "500 Internal Server Error", "text/plain", f"{exc}\n".encode()
         return (
             "404 Not Found",
             "text/plain",
-            b"not found; try /metrics, /status or /peers\n",
+            b"not found; try /metrics, /status, /peers or /tails\n",
         )

@@ -1,0 +1,311 @@
+"""Mergeable streaming quantile sketches (the fourth instrument kind).
+
+A :class:`QuantileSketch` summarizes an unbounded stream of observations
+in bounded memory while answering rank queries (p50/p90/p99/p999) with
+bounded *rank* error.  It is the online complement to the exact offline
+percentiles :mod:`repro.obs.analyze` computes from raw trace samples —
+same question, answerable while the run is still in flight and
+mergeable across peers without shipping raw samples.
+
+The design is a KLL-style compactor stack, deterministic on purpose:
+
+* Level ``i`` holds values of weight ``2**i`` in an unsorted buffer of
+  capacity ``k``.  New observations enter level 0 with weight 1.
+* When a level fills, it is sorted and **every other element** is
+  promoted to the next level (doubling its weight); the survivors are
+  discarded.  The starting parity alternates per level between
+  compactions, so successive compactions under- and over-count in
+  alternation and the errors largely cancel.
+* A rank query flattens the stack into ``(value, weight)`` pairs and
+  walks cumulative weights.
+
+Unlike textbook KLL there is no randomness: given the same insertion
+order the sketch state is bit-identical, which keeps traced runs
+reproducible (the repo-wide determinism contract).  The price is a
+worst-case rank error of ``O(log(n/k) / k)`` instead of KLL's
+``O(1/k)`` — with the default ``k = 128`` that is well under 1% rank
+error at any realistic stream size, and the documented envelope used by
+the integration tests is :data:`rank_error_bound`.
+
+Merging concatenates the stacks level-by-level and re-compacts overfull
+levels, so ``merge(a, b)`` summarizes exactly the union of both streams
+(weights are conserved); quantiles of a merge agree with quantiles of
+the pooled stream within the same rank-error envelope, associatively
+and commutatively — the property the hypothesis suite asserts.
+
+Sketches also support a constant :meth:`shift`, which is what makes
+coordinator-side clock-offset correction exact: a live peer records
+one-way latencies against *raw* clocks, and since every sample on one
+directed edge needs the same constant correction, shifting the finished
+sketch equals having corrected every sample before insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["QuantileSketch", "DEFAULT_K"]
+
+#: Default compactor capacity.  Memory is ``O(k * log(n/k))`` floats;
+#: 128 keeps a million-sample sketch under ~20 kB with sub-1% rank error.
+DEFAULT_K = 128
+
+#: Standard quantiles rendered in the Prometheus summary exposition.
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+class QuantileSketch:
+    """Deterministic KLL-style mergeable quantile sketch.
+
+    Fits the registry instrument shape (``name``/``labels``/``kind``)
+    so :class:`~repro.obs.metrics.MetricsRegistry` can treat it as a
+    fourth kind alongside counter/gauge/histogram.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "k",
+        "levels",
+        "count",
+        "total",
+        "_min",
+        "_max",
+        "_parity",
+        "_cache_count",
+        "_cache",
+    )
+
+    kind = "sketch"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        *,
+        k: int = DEFAULT_K,
+    ) -> None:
+        if k < 8 or k % 2:
+            raise ConfigurationError(f"sketch k must be an even int >= 8, got {k}")
+        self.name = name
+        self.labels = labels
+        self.k = k
+        #: ``levels[i]`` holds values of weight ``2**i`` (unsorted).
+        self.levels: list[list[float]] = [[]]
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        #: Per-level compaction parity (which half survives next time).
+        self._parity: list[int] = [0]
+        #: Quantile memo: valid while ``count`` is unchanged.
+        self._cache_count = -1
+        self._cache: dict[float, float] = {}
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        level0 = self.levels[0]
+        level0.append(value)
+        if len(level0) >= self.k:
+            self._compact_from(0)
+
+    def _compact_from(self, start: int) -> None:
+        """Cascade compactions upward from ``start`` until all fit."""
+        i = start
+        while i < len(self.levels) and len(self.levels[i]) >= self.k:
+            buf = sorted(self.levels[i])
+            offset = self._parity[i]
+            self._parity[i] ^= 1
+            self.levels[i] = []
+            if i + 1 == len(self.levels):
+                self.levels.append([])
+                self._parity.append(0)
+            self.levels[i + 1].extend(buf[offset::2])
+            i += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _weighted(self) -> list[tuple[float, int]]:
+        """All retained ``(value, weight)`` pairs, sorted by value."""
+        pairs: list[tuple[float, int]] = []
+        for i, level in enumerate(self.levels):
+            weight = 1 << i
+            pairs.extend((v, weight) for v in level)
+        pairs.sort(key=lambda p: p[0])
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at rank ``q`` (0..1); exact at q=0 and q=1."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
+        if self._cache_count == self.count and q in self._cache:
+            return self._cache[q]
+        target = q * self.count
+        running = 0
+        result = self._max
+        for value, weight in self._weighted():
+            running += weight
+            if running >= target:
+                result = value
+                break
+        if self._cache_count != self.count:
+            self._cache_count = self.count
+            self._cache = {}
+        self._cache[q] = result
+        return result
+
+    def quantiles(self, qs: Iterable[float]) -> list[float]:
+        """Batch :meth:`quantile` (one flatten, many ranks)."""
+        return [self.quantile(q) for q in qs]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Estimated fraction of observations strictly above ``threshold``."""
+        if self.count == 0:
+            return 0.0
+        above = 0
+        for i, level in enumerate(self.levels):
+            weight = 1 << i
+            above += weight * sum(1 for v in level if v > threshold)
+        retained = sum(len(level) << i for i, level in enumerate(self.levels))
+        return above / retained if retained else 0.0
+
+    def rank_error_bound(self) -> float:
+        """Documented worst-case rank-error envelope for this sketch.
+
+        Each compaction at level ``i`` shifts ranks by at most ``2**i``
+        relative to a count that has reached ``k * 2**i``; alternating
+        parity cancels most of it, but the bound sums one residual per
+        level: ``len(levels) / k``, floored at ``1/k`` for tiny streams.
+        """
+        return max(len(self.levels), 1) / self.k
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other``'s retained state into this sketch (in place).
+
+        Requires equal ``k`` (same resolution contract as histogram
+        bucket bounds).  Weights are conserved: the merged sketch
+        summarizes the union of both raw streams.
+        """
+        if other.k != self.k:
+            raise ConfigurationError(
+                f"cannot merge sketch {other.name!r}: k differs "
+                f"({self.k} vs {other.k})"
+            )
+        while len(self.levels) < len(other.levels):
+            self.levels.append([])
+            self._parity.append(0)
+        for i, level in enumerate(other.levels):
+            if level:
+                self.levels[i].extend(level)
+        for i in range(len(self.levels)):
+            if len(self.levels[i]) >= self.k:
+                self._compact_from(i)
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self._cache_count = -1
+        return self
+
+    def shift(self, delta: float, *, floor: float | None = None) -> None:
+        """Add a constant to every retained value (clock-offset correction).
+
+        ``floor`` clamps shifted values (and min/max) from below — the
+        same "never report a negative latency" rule event alignment
+        applies, applied to the sketch instead of raw samples.
+        """
+        if self.count == 0 or delta == 0.0 and floor is None:
+            return
+        clamp = (lambda v: max(v + delta, floor)) if floor is not None else (
+            lambda v: v + delta
+        )
+        self.total = 0.0
+        for i, level in enumerate(self.levels):
+            self.levels[i] = [clamp(v) for v in level]
+            self.total += sum(self.levels[i]) * (1 << i)
+        # Weighted total is now estimated from retained state; min/max
+        # shift exactly.
+        self._min = clamp(self._min)
+        self._max = clamp(self._max)
+        self._cache_count = -1
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """JSON-able internal state (the snapshot payload fields)."""
+        return {
+            "k": self.k,
+            "levels": [list(level) for level in self.levels],
+            "parity": list(self._parity),
+            "count": self.count,
+            "total": self.total,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    @classmethod
+    def _restore(
+        cls,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        state: Mapping[str, Any],
+    ) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`state` output."""
+        sketch = cls(name, labels, k=int(state.get("k", DEFAULT_K)))
+        levels = [list(map(float, level)) for level in state.get("levels", [[]])]
+        if not levels:
+            levels = [[]]
+        parity = [int(p) & 1 for p in state.get("parity", ())]
+        if len(parity) != len(levels):
+            parity = [0] * len(levels)
+        for level in levels:
+            if len(level) >= sketch.k:
+                raise ConfigurationError(
+                    f"sketch snapshot for {name!r} has an overfull level "
+                    f"({len(level)} >= k={sketch.k})"
+                )
+        sketch.levels = levels
+        sketch._parity = parity
+        sketch.count = int(state.get("count", 0))
+        sketch.total = float(state.get("total", 0.0))
+        low = state.get("min")
+        high = state.get("max")
+        sketch._min = float(low) if low is not None else float("inf")
+        sketch._max = float(high) if high is not None else float("-inf")
+        return sketch

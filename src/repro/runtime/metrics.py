@@ -26,6 +26,10 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["MessageRecord", "LatencySummary", "SessionReport", "MetricsCollector"]
 
 
+def _nan_to_none(x: float):
+    return None if isinstance(x, float) and math.isnan(x) else x
+
+
 @dataclass(frozen=True, slots=True)
 class MessageRecord:
     """One completed message."""
@@ -122,6 +126,12 @@ class SessionReport:
     degraded: bool = False
     #: Submitted messages abandoned because their destination peer died.
     lost_messages: int = 0
+    #: Cluster-wide message-latency tails from the observability plane's
+    #: pooled quantile sketch (NaN when the run carried no tracing):
+    #: online estimates within the sketch's rank-error bound, unlike
+    #: ``latency.p99`` which is exact over the raw records.
+    latency_p99_us: float = math.nan
+    latency_p999_us: float = math.nan
 
     def to_dict(self) -> dict:
         """Full JSON-ready view of the report (``repro run --json``)."""
@@ -151,6 +161,8 @@ class SessionReport:
             "rdv_timeouts": self.rdv_timeouts,
             "degraded": self.degraded,
             "lost_messages": self.lost_messages,
+            "latency_p99_us": _nan_to_none(self.latency_p99_us),
+            "latency_p999_us": _nan_to_none(self.latency_p999_us),
         }
 
     def row(self) -> dict[str, float]:
@@ -168,6 +180,8 @@ class SessionReport:
             "retransmits": self.retransmits,
             "failovers": self.failovers,
             "dropped": self.packets_dropped,
+            "latency_p99_us": self.latency_p99_us,
+            "latency_p999_us": self.latency_p999_us,
         }
 
 
@@ -258,6 +272,19 @@ class MetricsCollector:
         duplicated = plane.stats.duplicates if plane is not None else 0
         rdv_timeouts = sum(e.stats.rdv_timeouts for e in cluster.engines.values())
 
+        # Tail columns from the observability plane's message-latency
+        # sketches (traced runs only; NaN otherwise).  Imported here so a
+        # bare simulation never pays the obs import.
+        p99_us = p999_us = math.nan
+        obs_plane = getattr(cluster, "obs", None)
+        if obs_plane is not None:
+            from repro.obs.tails import pooled_message_sketch
+
+            pooled = pooled_message_sketch(obs_plane.registry)
+            if pooled is not None:
+                p99_us = pooled.quantile(0.99)
+                p999_us = pooled.quantile(0.999)
+
         return SessionReport(
             duration=duration,
             messages=len(records),
@@ -279,4 +306,6 @@ class MetricsCollector:
             packets_duplicated=duplicated,
             failovers=failovers,
             rdv_timeouts=rdv_timeouts,
+            latency_p99_us=p99_us,
+            latency_p999_us=p999_us,
         )

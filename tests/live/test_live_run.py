@@ -164,3 +164,8 @@ class TestCli:
         assert payload["bytes_verified"] == payload["report"]["total_bytes"]
         assert payload["corrupt_slices"] == 0
         assert payload["rtt_samples"] == 3
+        # Tail telemetry rides the payload; no tracing means the tail
+        # families exist but stay empty.
+        assert payload["tails"]["edges"] == {}
+        assert payload["tails"]["rails"] == {}
+        assert payload["report"]["latency_p99_us"] is None

@@ -1,6 +1,14 @@
 """Trace-analysis CLI: timeline reconstruction and miss accounting."""
 
-from repro.obs.analyze import _sparkline, analyze_events, analyze_file, render
+import pytest
+
+from repro.obs.analyze import (
+    _sparkline,
+    analyze_events,
+    analyze_file,
+    render,
+    summary_metrics,
+)
 from repro.runtime.scenario import run_scenario
 from repro.util.tracing import TraceEvent
 
@@ -72,6 +80,67 @@ class TestAnalysis:
         analysis = analyze_events([])
         assert analysis.n_events == 0
         assert "no decide records" in render(analysis)
+
+
+def _recv(t, src, dst, sent_at):
+    return TraceEvent(
+        t,
+        f"live:{dst}",
+        "live.recv",
+        {"src": src, "dst": dst, "sent_at": sent_at, "corr": 1},
+    )
+
+
+class TestEdgePercentiles:
+    def test_linear_interpolation(self):
+        # 4 crossings with latencies 1..4 ms: numpy's default definition
+        # puts p50 at rank q*(n-1)=1.5, i.e. halfway between 2 and 3 ms.
+        events = [
+            _recv(10.0 + 0.001 * lat, "n0", "n1", 10.0) for lat in (1, 2, 3, 4)
+        ]
+        analysis = analyze_events(events)
+        edge = analysis.edges["n0->n1"]
+        assert edge.percentile(0.50) == pytest.approx(2.5e-3)
+        assert edge.percentile(0.25) == pytest.approx(1.75e-3)
+        # q clamps at the extremes instead of indexing out of range.
+        assert edge.percentile(0.0) == pytest.approx(1e-3)
+        assert edge.percentile(1.0) == pytest.approx(4e-3)
+        assert edge.percentile(-5.0) == pytest.approx(1e-3)
+        assert edge.percentile(5.0) == pytest.approx(4e-3)
+
+    def test_times_parallel_to_latencies(self):
+        # evaluate_slo_offline windows over (times, latencies) pairs.
+        events = [_recv(t, "n0", "n1", t - 1e-4) for t in (1.0, 2.0, 3.0)]
+        edge = analyze_events(events).edges["n0->n1"]
+        assert edge.times == [1.0, 2.0, 3.0]
+        assert len(edge.times) == len(edge.latencies) == 3
+
+    def test_negative_latency_clamped_and_counted(self):
+        edge = analyze_events([_recv(1.0, "n0", "n1", 2.0)]).edges["n0->n1"]
+        assert edge.latencies == [0.0]
+        assert edge.clamped == 1
+
+    def test_render_includes_tail_percentiles(self):
+        events = [_recv(1.0 + 1e-4 * i, "n0", "n1", 1.0) for i in range(1, 50)]
+        text = render(analyze_events(events))
+        assert "cross-peer wire crossings" in text
+        for token in ("p50", "p90", "p99", "p999", "max"):
+            assert token in text
+
+    def test_summary_metrics_tail_keys(self):
+        events = [_recv(1.0 + 1e-4 * i, "n0", "n1", 1.0) for i in range(1, 50)]
+        out = summary_metrics(analyze_events(events))
+        prefix = "edge/n0->n1"
+        assert out[f"{prefix}/crossings"] == 49.0
+        assert (
+            out[f"{prefix}/latency_p50_us"]
+            <= out[f"{prefix}/latency_p99_us"]
+            <= out[f"{prefix}/latency_p999_us"]
+            <= out[f"{prefix}/latency_max_us"]
+        )
+        # Values are in microseconds (latencies were 100us..4.9ms).
+        assert out[f"{prefix}/latency_p50_us"] == pytest.approx(2500.0)
+        assert out[f"{prefix}/latency_max_us"] == pytest.approx(4900.0)
 
 
 class TestSparkline:

@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
 from repro.util.errors import ConfigurationError
 
 
@@ -74,6 +80,49 @@ class TestHistogram:
             h.observe(v)
         assert sum(h.counts) + h.inf_count == len(values)
         assert h.cumulative()[-1][1] == len(values)
+
+
+class TestHistogramQuantile:
+    def test_validation(self):
+        h = Histogram("h")
+        with pytest.raises(ConfigurationError):
+            h.quantile(-0.1)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+        assert h.quantile(0.5) == 0.0  # empty
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.sampled_from([0.5, 0.9, 0.99]),
+    )
+    def test_within_one_bucket_of_exact(self, values, q):
+        """The bucket-interpolated answer must land within the bucket
+        that contains the exact quantile — i.e. off by at most one
+        bucket's relative width (growth factor)."""
+        h = Histogram("h", base=1e-6, growth=2.0, n_buckets=40)
+        for v in values:
+            h.observe(v)
+        exact = sorted(values)[max(math.ceil(q * len(values)) - 1, 0)]
+        answer = h.quantile(q)
+        # exact lies in bucket (lower, upper]; answer must be within
+        # one growth factor either side of it.
+        assert exact / 2.0 <= answer <= exact * 2.0 + 1e-12
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", base=1.0, growth=2.0, n_buckets=4)
+        for _ in range(100):
+            h.observe(1.5)  # all mass in the (1, 2] bucket
+        assert 1.0 <= h.quantile(0.01) <= h.quantile(0.99) <= 2.0
+        assert h.quantile(0.99) > h.quantile(0.01)  # strictly interpolated
+
+    def test_overflow_bucket_returns_last_bound(self):
+        h = Histogram("h", base=1.0, growth=2.0, n_buckets=3)
+        h.observe(1e9)  # lands in +Inf
+        assert h.quantile(0.99) == h.bounds[-1]
 
 
 class TestRegistry:
@@ -154,3 +203,51 @@ class TestPrometheusExport:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestSketchInstrument:
+    def test_get_or_create_and_kind(self):
+        reg = MetricsRegistry()
+        a = reg.sketch("repro_s_us", {"src": "n0"})
+        b = reg.sketch("repro_s_us", {"src": "n0"})
+        assert a is b
+        assert isinstance(a, QuantileSketch)
+        with pytest.raises(ConfigurationError):
+            reg.counter("repro_s_us")  # kind conflict
+
+    def test_sketches_listing(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c")
+        reg.sketch("repro_s_us", {"x": "1"})
+        reg.sketch("repro_s_us", {"x": "0"})
+        names = [(s.name, dict(s.labels)["x"]) for s in reg.sketches()]
+        assert names == [("repro_s_us", "0"), ("repro_s_us", "1")]
+
+    def test_prometheus_summary_exposition(self):
+        reg = MetricsRegistry()
+        s = reg.sketch("repro_s_us", {"src": "n0"}, help="edge tails")
+        for i in range(100):
+            s.observe(float(i))
+        text = reg.to_prometheus()
+        assert "# TYPE repro_s_us summary" in text
+        samples = _parse_prometheus(text)
+        assert samples['repro_s_us{src="n0",quantile="0.5"}'] == s.quantile(0.5)
+        assert samples['repro_s_us{src="n0",quantile="0.99"}'] == s.quantile(0.99)
+        assert samples['repro_s_us_count{src="n0"}'] == 100
+        assert math.isclose(
+            samples['repro_s_us_sum{src="n0"}'], sum(range(100))
+        )
+
+    def test_snapshot_round_trip_through_registry(self):
+        reg = MetricsRegistry()
+        s = reg.sketch("repro_s_us", {"src": "n0"}, k=16)
+        for i in range(1000):
+            s.observe(float(i % 97))
+        restored = MetricsRegistry.from_snapshot(reg.to_snapshot())
+        r = restored.get("repro_s_us", {"src": "n0"})
+        assert isinstance(r, QuantileSketch)
+        assert r.k == 16
+        assert r.count == s.count
+        assert r.levels == s.levels
+        for q in (0.5, 0.99, 0.999):
+            assert r.quantile(q) == s.quantile(q)

@@ -1,6 +1,7 @@
 """Observability plane lifecycle, scenario wiring, and the off fast path."""
 
 import json
+import math
 
 import pytest
 
@@ -150,3 +151,81 @@ class TestReportRow:
         row = report.row()
         for column in ("retransmits", "failovers", "dropped"):
             assert row[column] == 0
+
+    def test_tail_columns_present(self):
+        report, _, _ = run_scenario(_scenario())
+        row = report.row()
+        assert "latency_p99_us" in row and "latency_p999_us" in row
+        # Untraced run: the sketch columns stay NaN (and None in JSON).
+        assert math.isnan(row["latency_p99_us"])
+        assert report.to_dict()["latency_p99_us"] is None
+
+
+class TestTailTelemetry:
+    def test_traced_run_populates_tail_sketches(self):
+        report, cluster, _ = run_scenario(_scenario(observability={}))
+        view = cluster.obs.tail_view
+        edges = view.edges()
+        assert "n0->n1" in edges and edges["n0->n1"].count > 0
+        assert edges["n0->n1"].p99_us >= edges["n0->n1"].p50_us > 0
+        assert view.rails()  # per-NIC service-time spans
+        assert "n1" in view.messages()
+        # The pooled message sketch feeds the report columns.
+        assert not math.isnan(report.latency_p99_us)
+        assert report.latency_p999_us >= report.latency_p99_us > 0
+        assert report.to_dict()["latency_p99_us"] == report.latency_p99_us
+
+    def test_engines_carry_view_and_decides_carry_hint(self):
+        _, cluster, _ = run_scenario(_scenario(observability={}))
+        plane = cluster.obs
+        for engine in cluster.engines.values():
+            assert engine.tail_view is plane.tail_view
+        decides = [e for e in plane.events if e.kind == "optimizer.decide"]
+        assert decides
+        hints = [e.detail["tail_hint"] for e in decides if "tail_hint" in e.detail]
+        assert hints  # later decides see earlier samples
+        assert all(
+            set(h) <= {"edge_p99_us", "edge_p999_us", "edge_n",
+                       "rail_p99_us", "rail_n"}
+            for h in hints
+        )
+
+    def test_trace_off_means_no_tail_recording(self):
+        report, cluster, _ = run_scenario(
+            _scenario(observability={"trace": False})
+        )
+        plane = cluster.obs
+        assert plane.tail_recorder is None
+        assert plane.tail_view.edges() == {}
+        assert math.isnan(report.latency_p99_us)
+
+    def test_dispatch_identical_traced_vs_untraced(self):
+        def run(observability):
+            report, _, _ = run_scenario(
+                _scenario(observability=observability)
+                if observability is not None else _scenario()
+            )
+            return (
+                report.messages,
+                report.total_bytes,
+                report.network_transactions,
+                report.latency.mean,
+                report.latency.p99,
+            )
+
+        assert run(None) == run({})  # trace + tail recorder on
+
+    def test_sampler_emits_tail_p99(self):
+        _, cluster, _ = run_scenario(
+            _scenario(observability={"sample_interval": 1e-5})
+        )
+        samples = [
+            e for e in cluster.obs.events
+            if e.kind == "obs.sample" and "tail_p99_us" in e.detail
+        ]
+        assert samples
+        assert all(
+            edge == "n0->n1" and p99 > 0
+            for e in samples
+            for edge, p99 in e.detail["tail_p99_us"].items()
+        )

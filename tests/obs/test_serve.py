@@ -62,6 +62,24 @@ class TestObsHTTPServer:
             _get(f"{server.address}/nope")
         assert err.value.code == 404
 
+    def test_tails_404_without_callback(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{server.address}/tails")
+        assert err.value.code == 404
+
+    def test_tails_endpoint(self):
+        payload = {"edges": {"n0->n1": {"p99_us": 123.0}}, "rails": {}}
+        srv = ObsHTTPServer(
+            lambda: "", lambda: {}, None, lambda: payload, port=0
+        ).start()
+        try:
+            status, headers, body = _get(f"{srv.address}/tails")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/json")
+            assert json.loads(body) == payload
+        finally:
+            srv.stop()
+
     def test_callback_exception_is_500(self):
         def boom() -> str:
             raise RuntimeError("registry on fire")

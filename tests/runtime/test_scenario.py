@@ -259,6 +259,22 @@ class TestTopLevelCli:
         assert "latency histogram" in out
         assert "#" in out
 
+    def test_run_json_tail_columns(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        # Traced run: the sketch-fed tail columns are real numbers.
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(minimal_scenario(observability={})))
+        assert main(["run", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        assert report["latency_p999_us"] >= report["latency_p99_us"] > 0
+        # Untraced run: the columns are present but null.
+        path.write_text(json.dumps(minimal_scenario()))
+        assert main(["run", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        assert report["latency_p99_us"] is None
+        assert report["latency_p999_us"] is None
+
     def test_run_incomplete_warns(self, capsys, tmp_path):
         from repro.__main__ import main
 
