@@ -6,6 +6,7 @@ Usage::
     python -m repro run scenario.json    # execute a declarative scenario
     python -m repro run scenario.json --trace-out trace.json \
         --metrics-out metrics.prom --sample-interval 1e-5
+    python -m repro tune scenario.json --json  # online adaptation plane on
     python -m repro live run scenario.json --serve :9464 --trace-out merged.json
     python -m repro obs analyze trace.json   # timelines + decision summary
     python -m repro obs diff base.json cand.json --check   # regression gate
@@ -82,6 +83,12 @@ def _cmd_run(args) -> int:
             merged = dict(scenario.get("faults", {}))
             merged.update(override)
             scenario["faults"] = merged
+    if args.tuner == "off":
+        scenario.pop("tuner", None)
+    elif args.tuner == "on":
+        tuner_spec = dict(scenario.get("tuner", {}))
+        tuner_spec["enabled"] = True
+        scenario["tuner"] = tuner_spec
     if args.trace_out or args.metrics_out or args.sample_interval is not None:
         obs_spec = dict(scenario.get("observability", {}))
         if args.sample_interval is not None:
@@ -99,6 +106,8 @@ def _cmd_run(args) -> int:
             "report": report.to_dict(),
             "incomplete_workloads": incomplete,
         }
+        if cluster.tuner is not None:
+            payload["tuner"] = cluster.tuner.summary()
         print(json.dumps(payload, indent=2))
         return 1 if incomplete else 0
     print(f"== scenario: {name} ==")
@@ -138,6 +147,33 @@ def _cmd_run(args) -> int:
         latencies_us = [r.latency * 1e6 for r in cluster.metrics.records]
         print("latency histogram (us):")
         print(ascii_histogram(latencies_us, fmt="{:.1f}"))
+    if cluster.tuner is not None:
+        summary = cluster.tuner.summary()
+        totals = summary["totals"]
+        print("tuner:")
+        print(
+            f"  decisions          : {totals['decisions']} "
+            f"({totals['specialized']} specialized)"
+        )
+        print(
+            f"  specializations    : {totals['installs']} installed, "
+            f"{totals['invalidations']} invalidated"
+        )
+        for node, state in summary["nodes"].items():
+            tracker = state["tracker"]
+            active = state["active"]
+            line = (
+                f"  {node:<6} regime={tracker['regime']} "
+                f"(flips={tracker['flips']}) "
+                f"specialized={state['specialized_fraction']:.0%}"
+            )
+            if active is not None:
+                line += f" active={active['id']}"
+            sweep = state.get("sweep")
+            if sweep is not None and sweep["best"] is not None:
+                window, budget = sweep["best"]
+                line += f" sweep-best=w{window}/b{budget}"
+            print(line)
     plane = cluster.obs
     if plane is not None:
         plane.finalize()
@@ -210,6 +246,7 @@ def _cmd_live_run(args) -> int:
             "crossings_matched": result.crossings_matched,
             "crossings_clamped": result.crossings_clamped,
             "tails": result.tails,
+            "tuner": result.tuner,
             "dead_peers": [
                 {
                     "rank": d.rank,
@@ -238,6 +275,16 @@ def _cmd_live_run(args) -> int:
     print(f"network transactions : {report.network_transactions}")
     print(f"aggregation ratio    : {report.aggregation_ratio:.2f}")
     print(f"rendezvous transfers : {report.rdv_count}")
+    if result.tuner.get("enabled"):
+        totals = result.tuner["totals"]
+        print(
+            f"tuner                : "
+            f"{int(totals.get('specialized', 0))}/"
+            f"{int(totals.get('decisions', 0))} specialized "
+            f"({result.tuner['specialized_fraction']:.0%}), "
+            f"{int(totals.get('installs', 0))} installs, "
+            f"{int(totals.get('invalidations', 0))} invalidations"
+        )
     if report.retransmits or report.packets_dropped:
         print(
             f"chaos recovery       : {report.retransmits} retransmits "
@@ -341,11 +388,48 @@ def main(argv: list[str] | None = None) -> int:
         help="periodic time-series sample interval in simulated seconds",
     )
     run_parser.add_argument(
+        "--tuner",
+        choices=("on", "off"),
+        help=(
+            "override the scenario's tuner block: 'on' enables the online "
+            "adaptation plane (defaults if the scenario has no block), "
+            "'off' removes it (dispatch byte-identical to a tuner-less run)"
+        ),
+    )
+    run_parser.add_argument(
         "--json",
         action="store_true",
         help="emit the full session report as JSON on stdout (no human text)",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    tune_parser = subparsers.add_parser(
+        "tune",
+        help="execute a scenario with the online adaptation plane forced on",
+    )
+    tune_parser.add_argument("scenario", help="path to a scenario JSON file")
+    tune_parser.add_argument(
+        "--trace-out", metavar="PATH", help="write the captured trace"
+    )
+    tune_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write end-of-run metrics as Prometheus text exposition",
+    )
+    tune_parser.add_argument(
+        "--sample-interval",
+        type=float,
+        metavar="SECONDS",
+        help="periodic time-series sample interval in simulated seconds",
+    )
+    tune_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full session report (incl. tuner state) as JSON",
+    )
+    tune_parser.set_defaults(
+        func=_cmd_run, tuner="on", faults=None, histogram=False
+    )
 
     live_parser = subparsers.add_parser(
         "live", help="run the engine over real sockets (repro.live)"

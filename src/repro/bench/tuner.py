@@ -1,0 +1,337 @@
+"""Benchmarks of the online adaptation plane (:mod:`repro.tuner`).
+
+Three questions, answered with numbers in ``BENCH_tuner.json``:
+
+* **Is the specialized fast path actually faster?**  Decisions per
+  second of a specialized closure (constants folded, capabilities
+  pre-resolved) vs the general ``make_plan`` it was synthesized from,
+  on the same loaded engine — plus the full wrapper rate (tracker +
+  dispatch bookkeeping included), which is the price a tuned run pays.
+* **Does the tuner actually serve from it?**  Fraction of decisions
+  served from the specialized path on a stable-regime workload (the
+  acceptance floor is one half).
+* **Does tail-acting rail selection help the tail?**  p99 message
+  latency on a skewed-rail cluster (slow TCP rail listed first, fast
+  MX rail second) with selection on vs off, measured after a warmup
+  long enough for the selector to have rail statistics.
+
+Unlike :mod:`repro.bench.kernel` there is no checked-in baseline: the
+``--check`` gate enforces *absolute* invariants (specialized beats
+general, served fraction >= 0.5, selection-on p99 < selection-off p99),
+so a regression is a property violation, not a percentage.
+
+Usage::
+
+    python -m repro.bench.tuner             # print + BENCH_tuner.json
+    python -m repro.bench.tuner --check     # fail on any invariant violation
+    python -m repro.bench.tuner --quick     # reduced iterations (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.kernel import _best_rate, _bump_version, build_loaded_cluster
+from repro.core.config import EngineConfig
+from repro.core.strategies.search import BoundedSearchStrategy
+from repro.runtime.cluster import Cluster
+from repro.tuner import Tuner, TunerConfig
+from repro.tuner.config import RailsConfig
+from repro.tuner.specialize import MISS
+
+__all__ = [
+    "decision_rates",
+    "stable_fraction",
+    "skewed_rail_p99",
+    "run_suite",
+    "check_invariants",
+]
+
+#: Acceptance floor on the share of decisions served specialized.
+MIN_SPECIALIZED_FRACTION = 0.5
+
+#: Default location of the emitted results (repository root).
+RESULT_FILE = "BENCH_tuner.json"
+
+_DEPTH = 16  # backlog depth for the decision-rate comparison
+
+
+def decision_rates(
+    depth: int = _DEPTH, *, iterations: int = 300, repeats: int = 9
+) -> dict[str, float]:
+    """Decisions per second: general vs specialized vs tuned wrapper.
+
+    All three run the bounded search over the same backlog.  ``general``
+    calls the strategy's own ``make_plan``; ``specialized`` calls the
+    synthesized per-driver closure directly (the code the fast path
+    executes once installed); ``wrapper`` goes through the installed
+    :class:`~repro.tuner.specialize.TunedStrategy`, paying the regime
+    tracker and hit accounting on every call.
+
+    Measured *interleaved* — one timed round of each configuration per
+    repeat, best-of-N per configuration — so scheduler drift hits all
+    three alike (the same discipline as
+    :func:`repro.bench.kernel.tracing_overhead`); a sequential
+    measurement would let a frequency ramp masquerade as a speedup.
+    """
+
+    def setup() -> Cluster:
+        return build_loaded_cluster(
+            depth,
+            strategy=lambda: BoundedSearchStrategy(budget=16),
+            config=EngineConfig(lookahead_window=16),
+        )
+
+    # --- general: the plain strategy, no tuner anywhere -------------
+    general_cluster = setup()
+    general_engine = general_cluster.engine("n0")
+    general_driver = general_engine.drivers[0]
+    general_queues = list(general_engine.waiting.non_empty())
+
+    # --- specialized + wrapper: tuner installed, closure active -----
+    tuned_cluster = setup()
+    tuned_engine = tuned_cluster.engine("n0")
+    tuned_driver = tuned_engine.drivers[0]
+    tuned_queues = list(tuned_engine.waiting.non_empty())
+    tuner = Tuner(tuned_engine, TunerConfig(min_dwell=2, drift_window=3))
+    tuner.install()
+    # Warm until the tracker stabilizes and a specialization installs.
+    for _ in range(8):
+        tuned_engine.strategy.make_plan(tuned_engine, tuned_driver)
+        for queue in tuned_queues:
+            _bump_version(queue)
+    active = tuner.active
+    assert active is not None, "tuner failed to install a specialization"
+    fn = active.fns[id(tuned_driver)]
+
+    def general_round() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            plan = general_engine.strategy.make_plan(general_engine, general_driver)
+            assert plan is not None
+            for queue in general_queues:
+                _bump_version(queue)
+        elapsed = time.perf_counter() - start
+        return iterations / elapsed if elapsed > 0 else 0.0
+
+    def specialized_round() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            plan = fn(tuned_engine)
+            assert plan is not None and plan is not MISS
+            for queue in tuned_queues:
+                _bump_version(queue)
+        elapsed = time.perf_counter() - start
+        return iterations / elapsed if elapsed > 0 else 0.0
+
+    def wrapper_round() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            plan = tuned_engine.strategy.make_plan(tuned_engine, tuned_driver)
+            assert plan is not None
+            for queue in tuned_queues:
+                _bump_version(queue)
+        elapsed = time.perf_counter() - start
+        return iterations / elapsed if elapsed > 0 else 0.0
+
+    rounds = {
+        "general": general_round,
+        "specialized": specialized_round,
+        "wrapper": wrapper_round,
+    }
+    best = {name: 0.0 for name in rounds}
+    for _ in range(repeats):
+        for name, one_round in rounds.items():
+            best[name] = max(best[name], one_round())
+    return {
+        f"decisions_per_sec/{name}/d{depth}": rate for name, rate in best.items()
+    }
+
+
+def stable_fraction(*, count: int = 400) -> dict[str, float]:
+    """Tuner counters over a stable deep-regime streaming run.
+
+    One bursty sender keeps the backlog above ``deep_backlog`` for the
+    whole run, so after ``min_dwell`` decisions every further decision
+    should come from the installed specialization.
+    """
+    cluster = Cluster(
+        n_nodes=2,
+        networks=[("mx", 1)],
+        engine="optimizing",
+        strategy="search",
+        seed=7,
+        tuner={"min_dwell": 4, "drift_window": 3},
+    )
+    api = cluster.api("n0")
+    flow = api.open_flow("n1")
+
+    def burst() -> None:
+        for _ in range(count):
+            api.send(flow, 512)
+
+    cluster.sim.at(0.0, burst)
+    cluster.run_until_idle()
+    assert cluster.tuner is not None
+    totals = cluster.tuner.summary()["totals"]
+    decisions = totals["decisions"] or 1
+    return {
+        "stable/decisions": float(totals["decisions"]),
+        "stable/specialized": float(totals["specialized"]),
+        "stable/specialized_fraction": totals["specialized"] / decisions,
+        "stable/installs": float(totals["installs"]),
+    }
+
+
+def skewed_rail_p99(
+    *, count: int = 400, interval: float = 1e-4, size: int = 4096
+) -> dict[str, float]:
+    """p99 message latency (µs) on a skewed-rail cluster, selection on/off.
+
+    The cluster lists a slow TCP rail *first* and a fast MX rail second,
+    so the engine's in-order rail scan parks sparse traffic on TCP.
+    With tail-acting selection on, the selector observes TCP's p99 blow
+    the budget and reorders MX ahead of it.  p99 is measured over the
+    second half of the run — the selector needs ``min_samples`` spans
+    on the slow rail before it can act, and the warmup window is the
+    price of learning, not the steady state being compared.
+    """
+    warmup = count // 2 * interval
+
+    def one_run(selection: bool) -> float:
+        tuner_spec = None
+        if selection:
+            tuner_spec = TunerConfig(
+                min_dwell=4,
+                drift_window=3,
+                rails=RailsConfig(
+                    p99_budget_us=50.0, min_samples=16, refresh_every=8
+                ),
+            )
+        cluster = Cluster(
+            n_nodes=2,
+            networks=[("tcp", 1), ("mx", 1)],
+            engine="optimizing",
+            strategy="aggregate",
+            seed=11,
+            observability={"sample_interval": 1e-4},
+            tuner=tuner_spec,
+        )
+        api = cluster.api("n0")
+        flow = api.open_flow("n1")
+        for i in range(count):
+            cluster.sim.at(i * interval, lambda: api.send(flow, size))
+        cluster.run_until_idle()
+        report = cluster.report(since=warmup)
+        return report.latency.p99 * 1e6
+
+    return {
+        "skewed_rail/p99_us/selection_off": one_run(False),
+        "skewed_rail/p99_us/selection_on": one_run(True),
+    }
+
+
+def run_suite(*, quick: bool = False) -> dict[str, float]:
+    """Run every tuner benchmark; returns a flat metric mapping."""
+    scale = 0.25 if quick else 1.0
+    metrics: dict[str, float] = {}
+    metrics.update(
+        decision_rates(iterations=max(int(300 * scale), 50), repeats=3 if quick else 5)
+    )
+    metrics.update(stable_fraction(count=max(int(400 * scale), 100)))
+    metrics.update(skewed_rail_p99(count=max(int(400 * scale), 200)))
+    return metrics
+
+
+def check_invariants(metrics: dict[str, float]) -> list[str]:
+    """The acceptance invariants; returns human-readable violations."""
+    failures: list[str] = []
+    general = metrics[f"decisions_per_sec/general/d{_DEPTH}"]
+    specialized = metrics[f"decisions_per_sec/specialized/d{_DEPTH}"]
+    if specialized <= general:
+        failures.append(
+            f"specialized fast path is not faster: {specialized:,.0f}/s vs "
+            f"general {general:,.0f}/s"
+        )
+    fraction = metrics["stable/specialized_fraction"]
+    if fraction < MIN_SPECIALIZED_FRACTION:
+        failures.append(
+            f"stable regime served only {fraction:.1%} of decisions "
+            f"specialized (floor {MIN_SPECIALIZED_FRACTION:.0%})"
+        )
+    p99_off = metrics["skewed_rail/p99_us/selection_off"]
+    p99_on = metrics["skewed_rail/p99_us/selection_on"]
+    if not p99_on < p99_off:
+        failures.append(
+            f"rail selection did not lower p99: on {p99_on:,.1f}us vs "
+            f"off {p99_off:,.1f}us"
+        )
+    return failures
+
+
+def _render(metrics: dict[str, float]) -> str:
+    width = max(len(k) for k in metrics)
+    lines = []
+    for name, value in sorted(metrics.items()):
+        if "per_sec" in name:
+            lines.append(f"  {name.ljust(width)}  {value:>14,.0f}/s")
+        elif "fraction" in name:
+            lines.append(f"  {name.ljust(width)}  {value:>14.1%}")
+        elif "p99_us" in name:
+            lines.append(f"  {name.ljust(width)}  {value:>12,.1f}us")
+        else:
+            lines.append(f"  {name.ljust(width)}  {value:>14,.0f}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the suite, write JSON, optionally gate."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.tuner", description=__doc__
+    )
+    parser.add_argument(
+        "--out", default=RESULT_FILE, help="result JSON path (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any tuner invariant is violated",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced iterations/counts"
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    metrics = run_suite(quick=args.quick)
+    elapsed = time.perf_counter() - start
+    print("== tuner benchmarks ==")
+    print(_render(metrics))
+    print(f"  ({elapsed:.1f}s)")
+
+    payload = {
+        "schema": 1,
+        "suite": "tuner",
+        "quick": args.quick,
+        "metrics": metrics,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"\nresults written to {args.out}")
+
+    if args.check:
+        failures = check_invariants(metrics)
+        if failures:
+            print("\ntuner invariants violated:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("all tuner invariants hold")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -126,6 +126,12 @@ class CommEngineBase:
         #: tracing-gated decide-record path: strategies do not act on
         #: it yet, so dispatch stays identical with or without it.
         self.tail_view = None
+        #: Optional driver-iteration reorderer (``order(drivers)``),
+        #: installed by the tuner's tail-acting rail selection.  None —
+        #: the default — iterates ``self.drivers`` exactly as built, so
+        #: dispatch without a selector is byte-identical to before the
+        #: hook existed.
+        self.rail_selector = None
 
         self.policy.setup(node.channels, min(d.caps.max_channels for d in self.drivers))
         self.policy.bind(self)
@@ -248,8 +254,10 @@ class CommEngineBase:
                 trigger=trigger,
                 backlog=self.waiting.total_pending,
             )
+        selector = self.rail_selector
+        drivers = self.drivers if selector is None else selector.order(self.drivers)
         try:
-            for driver in self.drivers:
+            for driver in drivers:
                 while driver.idle:
                     epoch = self._enqueue_epoch
                     decision = self.strategy.make_plan(self, driver)

@@ -112,6 +112,9 @@ class LiveRunResult:
     #: per-edge/per-rail/per-node p50..p999 plus SLO burn rates); empty
     #: when the run carried no observability.
     tails: dict[str, Any] = field(default_factory=dict)
+    #: Pooled ``repro_tuner_*`` counters (same shape ``GET /tuner``
+    #: serves mid-run); ``enabled: false`` when no peer ran a tuner.
+    tuner: dict[str, Any] = field(default_factory=dict)
     #: Peers declared dead mid-run (empty on a clean run).  When
     #: non-empty, ``report.degraded`` is True and the report merges only
     #: the survivors' views.
@@ -193,6 +196,55 @@ class _ObsState:
     def peers(self) -> dict[str, Any]:
         with self._lock:
             return dict(self._peers)
+
+    def tuner(self) -> dict[str, Any]:
+        """In-flight online-adaptation view for ``GET /tuner``.
+
+        Per-peer ``repro_tuner_*`` counters from the latest FLUSH
+        registry snapshots, plus cluster totals.  A scenario without a
+        tuner block reports ``enabled: false`` and no nodes — the
+        counters only exist when a peer installed the tuner.
+        """
+        with self._lock:
+            per_peer = dict(self._metrics_by_peer)
+        return pool_tuner_counters(per_peer)
+
+
+def pool_tuner_counters(
+    per_peer: Mapping[str, Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Fold every peer's ``repro_tuner_*`` counters into one summary.
+
+    Serves both the mid-run ``/tuner`` endpoint and the post-run
+    :attr:`LiveRunResult.tuner` field.  A run without a tuner block has
+    no such counters, so the summary reports ``enabled: false``.
+    """
+    prefix = "repro_tuner_"
+    nodes: dict[str, dict[str, float]] = {}
+    for snapshot in per_peer.values():
+        for metric in snapshot.get("metrics", ()):
+            name = metric.get("name", "")
+            if not name.startswith(prefix):
+                continue
+            labels = dict(metric.get("labels") or ())
+            node = labels.get("node", "?")
+            short = name[len(prefix):]
+            if short.endswith("_total"):
+                short = short[: -len("_total")]
+            nodes.setdefault(node, {})[short] = metric.get("value", 0)
+    totals: dict[str, float] = {}
+    for counters in nodes.values():
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    decisions = totals.get("decisions", 0)
+    return {
+        "enabled": bool(nodes),
+        "nodes": nodes,
+        "totals": totals,
+        "specialized_fraction": (
+            totals.get("specialized", 0) / decisions if decisions else 0.0
+        ),
+    }
 
 
 #: Upper bound on one control round-trip.  A healthy peer answers in
@@ -575,13 +627,13 @@ def run_live_scenario(
         if serve_host is not None:
             server = ObsHTTPServer(
                 obs_state.metrics_text, obs_state.status, obs_state.peers,
-                obs_state.tails,
+                obs_state.tails, obs_state.tuner,
                 host=serve_host, port=serve_port,
             )
             server.start()
             print(
-                f"[repro.live] serving /metrics, /status, /peers and /tails "
-                f"on {server.address}",
+                f"[repro.live] serving /metrics, /status, /peers, /tails "
+                f"and /tuner on {server.address}",
                 file=sys.stderr,
             )
         endpoints: dict[int, dict[str, Any]] = {}
@@ -871,6 +923,7 @@ def run_live_scenario(
     # sketches — exact, because every sample on a directed edge needs
     # the same constant correction (see correct_edge_sketches).
     tails: dict[str, Any] = {}
+    tuner_summary = pool_tuner_counters(obs.metrics_by_peer)
     if obs.metrics_by_peer:
         aggregated = aggregate_registries(obs.metrics_by_peer.values())
         corrected = correct_edge_sketches(aggregated, merged.offsets)
@@ -904,5 +957,6 @@ def run_live_scenario(
         crossings_clamped=merged.crossings_clamped,
         cluster_registry=cluster_registry,
         tails=tails,
+        tuner=tuner_summary,
         dead_peers=dead_peers,
     )

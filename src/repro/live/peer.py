@@ -55,6 +55,7 @@ from repro.network.virtual import TrafficClass
 from repro.network.wire import META_CORR, META_SENT_AT, META_VIA
 from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.runtime.metrics import MetricsCollector
+from repro.tuner import Tuner, TunerConfig
 from repro.util.errors import ConfigurationError, ProtocolError
 from repro.util.rng import SeedSequenceRegistry
 from repro.util.tracing import Tracer, event_to_dict
@@ -995,6 +996,7 @@ class LivePeer:
         self._pre_start_frames: list = []
         self._build_stack()
         self._install_observability()
+        self._install_tuner()
 
     def _install_observability(self) -> None:
         """Attach the full observability plane to this peer's stack.
@@ -1038,6 +1040,31 @@ class LivePeer:
                 tail_view=self.plane.tail_view,
             )
         self._flushed = False
+
+    def _install_tuner(self) -> None:
+        """Wrap this peer's engine with the online tuner when configured.
+
+        Same grammar and escape hatch as the sim plane: no ``tuner``
+        block (or ``enabled: false``) installs nothing, keeping dispatch
+        byte-identical to a tuner-less peer.  Tuner counters ride the
+        FLUSH registry snapshots as ``repro_tuner_*`` metrics and feed
+        the coordinator's ``/tuner`` endpoint.
+        """
+        self.tuner: Tuner | None = None
+        spec = self.scenario.get("tuner")
+        if spec is None:
+            return
+        config = spec if isinstance(spec, TunerConfig) else TunerConfig.from_spec(spec)
+        if not config.enabled:
+            return
+        engine_kind = dict(self.scenario.get("cluster", {})).get("engine", "optimizing")
+        if engine_kind != "optimizing":
+            raise ConfigurationError(
+                f"the tuner requires the optimizing engine, not {engine_kind!r}"
+            )
+        tuner = Tuner(self.engine, config, tail_view=self.plane.tail_view)
+        tuner.install()
+        self.tuner = tuner
 
     # -- construction --------------------------------------------------
     def _build_stack(self) -> None:
@@ -1403,6 +1430,31 @@ class LivePeer:
                 registry.counter(
                     metric, labels, help=f"{text} by the chaos injectors"
                 ).set_total(chaos[key])
+        if self.tuner is not None:
+            stats = self.tuner.stats
+            for value, metric, text in (
+                (
+                    stats.decisions,
+                    "repro_tuner_decisions_total",
+                    "Decisions observed by the online tuner",
+                ),
+                (
+                    stats.specialized,
+                    "repro_tuner_specialized_total",
+                    "Decisions served from a specialized fast path",
+                ),
+                (
+                    stats.installs,
+                    "repro_tuner_installs_total",
+                    "Specializations synthesized and installed",
+                ),
+                (
+                    stats.invalidations,
+                    "repro_tuner_invalidations_total",
+                    "Specializations torn down (drift, sweep, or tail shift)",
+                ),
+            ):
+                registry.counter(metric, labels, help=text).set_total(value)
 
     def report(self) -> dict[str, Any]:
         """The final REPORT payload: records, counters, apps, trace."""

@@ -12,6 +12,9 @@ is in flight:
 * ``GET /tails`` — JSON tail-latency view: per-edge/per-rail
   p50/p90/p99/p999 from the merged quantile sketches plus SLO burn
   rates (see :mod:`repro.obs.tails`).
+* ``GET /tuner`` — JSON online-adaptation view: per-peer regime,
+  active specializations, hit/miss counters, sweep and rail-selection
+  state (see :mod:`repro.tuner`).
 
 The server is deliberately tiny: a hand-rolled HTTP/1.0 responder on
 ``asyncio`` streams, no routing table, no keep-alive, no dependencies.
@@ -71,6 +74,9 @@ class ObsHTTPServer:
     tails:
         Optional zero-arg callable returning a JSON-able dict for
         ``/tails`` (tail-latency view); without it the route 404s.
+    tuner:
+        Optional zero-arg callable returning a JSON-able dict for
+        ``/tuner`` (online-adaptation view); without it the route 404s.
     host, port:
         Bind address.  ``port=0`` picks a free port; read it back from
         :attr:`port` after :meth:`start`.
@@ -82,6 +88,7 @@ class ObsHTTPServer:
         status: Callable[[], Mapping[str, Any]],
         peers: Callable[[], Mapping[str, Any]] | None = None,
         tails: Callable[[], Mapping[str, Any]] | None = None,
+        tuner: Callable[[], Mapping[str, Any]] | None = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -90,6 +97,7 @@ class ObsHTTPServer:
         self._status = status
         self._peers = peers
         self._tails = tails
+        self._tuner = tuner
         self._host = host
         self._port = port
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -230,10 +238,13 @@ class ObsHTTPServer:
             if route == "/tails" and self._tails is not None:
                 body = json.dumps(dict(self._tails()), indent=2, sort_keys=True)
                 return "200 OK", "application/json", (body + "\n").encode("utf-8")
+            if route == "/tuner" and self._tuner is not None:
+                body = json.dumps(dict(self._tuner()), indent=2, sort_keys=True)
+                return "200 OK", "application/json", (body + "\n").encode("utf-8")
         except Exception as exc:  # callback failure must not kill the server
             return "500 Internal Server Error", "text/plain", f"{exc}\n".encode()
         return (
             "404 Not Found",
             "text/plain",
-            b"not found; try /metrics, /status, /peers or /tails\n",
+            b"not found; try /metrics, /status, /peers, /tails or /tuner\n",
         )

@@ -41,6 +41,7 @@ from repro.network.reliable import ReliabilityConfig, ReliableTransport
 from repro.network.technologies import TECHNOLOGIES
 from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
 from repro.runtime.metrics import MetricsCollector
+from repro.tuner import ClusterTuner, TunerConfig
 from repro.sim.engine import Simulator
 from repro.util.errors import ConfigurationError
 from repro.util.rng import SeedSequenceRegistry
@@ -102,6 +103,14 @@ class Cluster:
         ``ring_buffer``/``trace``).  When set, a trace sink and the
         periodic sampler are attached as ``cluster.obs``; ``None``
         (default) keeps every emit site on the NullTracer fast path.
+    tuner:
+        Optional online adaptation plane: a
+        :class:`~repro.tuner.TunerConfig` or a mapping in the scenario
+        ``"tuner"`` schema (see :mod:`repro.tuner.config`).  When set
+        and enabled, each engine's strategy is wrapped by the tuner
+        (``cluster.tuner``); ``None`` (default) — or
+        ``{"enabled": false}`` — installs nothing, keeping dispatch
+        byte-identical to a tuner-less build.
     """
 
     def __init__(
@@ -117,6 +126,7 @@ class Cluster:
         driver_caps: dict[str, "DriverCapabilities"] | None = None,
         faults: Mapping | FaultPlane | None = None,
         observability: Mapping | ObservabilityConfig | ObservabilityPlane | None = None,
+        tuner: "Mapping | TunerConfig | None" = None,
     ) -> None:
         if n_nodes < 2:
             raise ConfigurationError(f"a cluster needs >= 2 nodes, got {n_nodes}")
@@ -214,6 +224,18 @@ class Cluster:
                 )
             obs_plane.install(self)
             self.obs = obs_plane
+
+        # The tuner installs last: it wraps engine strategies and wants
+        # the tail view the observability plane just handed out.
+        self.tuner: "ClusterTuner | None" = None
+        if tuner is not None:
+            tuner_config = (
+                tuner if isinstance(tuner, TunerConfig) else TunerConfig.from_spec(tuner)
+            )
+            if tuner_config.enabled:
+                cluster_tuner = ClusterTuner(tuner_config)
+                cluster_tuner.install(self)
+                self.tuner = cluster_tuner
 
     @staticmethod
     def _make_strategy(

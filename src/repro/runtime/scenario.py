@@ -109,7 +109,16 @@ POLICY_TYPES: dict[str, Callable[[], ChannelPolicy]] = {
 
 #: Keys a scenario mapping may carry at each level.
 _SCENARIO_KEYS = frozenset(
-    {"name", "description", "cluster", "workloads", "faults", "observability", "run"}
+    {
+        "name",
+        "description",
+        "cluster",
+        "workloads",
+        "faults",
+        "observability",
+        "tuner",
+        "run",
+    }
 )
 _CLUSTER_KEYS = frozenset(
     {"n_nodes", "networks", "engine", "strategy", "policy", "config", "seed"}
@@ -198,6 +207,9 @@ def build_scenario(scenario: Mapping[str, Any]) -> tuple[Cluster, list[AppBase]]
     obs_spec = scenario.get("observability")
     if obs_spec is not None:
         cluster_spec["observability"] = obs_spec
+    tuner_spec = scenario.get("tuner")
+    if tuner_spec is not None:
+        cluster_spec["tuner"] = tuner_spec
     cluster = Cluster(**cluster_spec)
     apps = [build_app(entry) for entry in scenario.get("workloads", [])]
     if not apps:

@@ -1,0 +1,101 @@
+"""Regime tracking with hysteresis and drift commitment.
+
+The auto strategy's backlog test (:mod:`repro.core.strategies.auto`)
+classifies every single decision as "deep" or "sparse"; an alternating
+workload therefore flips it every few decisions.  The tracker extends
+that raw test with two time constants:
+
+* a **drift window** — the raw label must contradict the committed
+  regime for ``drift_window`` *consecutive* decisions before the
+  tracker commits a flip (one stray burst is noise, a run of them is a
+  phase change);
+* a **dwell requirement** — a committed regime is only declared
+  *stable* (and therefore worth specializing for) after ``min_dwell``
+  decisions under it.
+
+The tracker is deliberately observation-only: it never touches the
+engine, so feeding it cannot change dispatch.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RegimeTracker"]
+
+
+class RegimeTracker:
+    """Hysteretic deep/sparse regime detection over the backlog signal."""
+
+    __slots__ = (
+        "min_dwell",
+        "drift_window",
+        "deep_backlog",
+        "committed",
+        "dwell",
+        "flips",
+        "observations",
+        "_contrary",
+    )
+
+    def __init__(
+        self,
+        min_dwell: int = 8,
+        drift_window: int = 3,
+        deep_backlog: int = 8,
+    ) -> None:
+        self.min_dwell = min_dwell
+        self.drift_window = drift_window
+        self.deep_backlog = deep_backlog
+        #: The regime the tracker currently stands behind.
+        self.committed = "sparse"
+        #: Decisions observed under the committed regime (resets on flip).
+        self.dwell = 0
+        #: Committed flips over the tracker's lifetime.
+        self.flips = 0
+        #: Total observations fed in.
+        self.observations = 0
+        # Consecutive raw observations contradicting the commitment.
+        self._contrary = 0
+
+    def classify(self, backlog: int) -> str:
+        """The raw (hysteresis-free) label of one backlog reading."""
+        return "deep" if backlog >= self.deep_backlog else "sparse"
+
+    def observe(self, backlog: int) -> bool:
+        """Feed one backlog reading; returns True on a committed flip."""
+        self.observations += 1
+        raw = self.classify(backlog)
+        if raw == self.committed:
+            self.dwell += 1
+            self._contrary = 0
+            return False
+        self._contrary += 1
+        if self._contrary < self.drift_window:
+            # Contrary evidence, not yet a phase change: the dwell clock
+            # keeps running — a stable regime does not lose its standing
+            # to a burst shorter than the drift window.
+            self.dwell += 1
+            return False
+        self.committed = raw
+        self.dwell = 1
+        self._contrary = 0
+        self.flips += 1
+        return True
+
+    @property
+    def stable(self) -> bool:
+        """Whether the committed regime has dwelled long enough."""
+        return self.dwell >= self.min_dwell
+
+    def summary(self) -> dict:
+        """JSON-able state (CLI reports and the ``/tuner`` endpoint)."""
+        return {
+            "regime": self.committed,
+            "stable": self.stable,
+            "dwell": self.dwell,
+            "flips": self.flips,
+            "observations": self.observations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stable" if self.stable else "settling"
+        return f"RegimeTracker({self.committed!r}, {state}, dwell={self.dwell})"

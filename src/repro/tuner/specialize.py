@@ -1,0 +1,544 @@
+"""Regime specializations: synthesized fast-path decision functions.
+
+When the :class:`~repro.tuner.regime.RegimeTracker` declares a regime
+stable, the tuner synthesizes a **specialized** decision function for
+the engine's strategy: a closure with everything that cannot change
+while the regime holds folded into its environment — resolved driver
+capabilities (cost constants, max aggregation width), engine-config
+values (lookahead window, search budget, stripe chunk), the
+precomputed width ladder, the multirail flag.  The general path
+re-derives all of this on *every* decision; the specialized path pays
+for it once at synthesis time.
+
+Correctness contract (pinned by the hypothesis property tests):
+
+* a specialized function returns **bit-identical** decisions to the
+  general path it was synthesized from, including side effects the
+  rest of the system reads (budget accounting, score cache, explain
+  fields) — specialization is an evaluation-order optimization, never
+  a behavior change;
+* every folded assumption is re-checked by a cheap guard at the top of
+  the closure; a violated guard returns the :data:`MISS` sentinel and
+  the :class:`TunedStrategy` wrapper falls through to the general path
+  *within the same decision* — drift can make a specialization useless,
+  never wrong.
+
+``tuner: off`` installs no wrapper at all, so the escape hatch is not
+"a disabled branch" but the literal absence of this module from the
+hot path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core import kernel
+from repro.core.cost import CostModel
+from repro.core.plan import Hold, TransferPlan
+from repro.core.strategies import search as search_mod
+from repro.core.strategies._builder import build_from_queue
+from repro.core.strategies.aggregation import AggregationStrategy
+from repro.core.strategies.auto import AutoStrategy
+from repro.core.strategies.base import Strategy
+from repro.core.strategies.nagle import NagleStrategy
+from repro.core.strategies.search import BoundedSearchStrategy
+from repro.drivers.base import Driver
+from repro.network.wire import PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import CommEngineBase
+    from repro.tuner import Tuner
+
+__all__ = ["MISS", "Specialization", "TunedStrategy", "synthesize"]
+
+
+class _Miss:
+    """Sentinel: a specialized closure declined (guard failed)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<tuner MISS>"
+
+
+#: Returned by specialized closures instead of a plan when one of their
+#: folded assumptions no longer holds; the wrapper then runs the
+#: general path in the same decision.
+MISS = _Miss()
+
+
+class Specialization:
+    """One installed fast path: per-driver closures plus bookkeeping."""
+
+    __slots__ = ("spec_id", "regime", "strategy_name", "fns", "hits", "misses")
+
+    def __init__(
+        self,
+        spec_id: str,
+        regime: str,
+        strategy_name: str,
+        fns: dict[int, Callable[["CommEngineBase"], Any]],
+    ) -> None:
+        self.spec_id = spec_id
+        self.regime = regime
+        self.strategy_name = strategy_name
+        #: ``id(driver)`` → specialized closure taking just the engine.
+        self.fns = fns
+        self.hits = 0
+        self.misses = 0
+
+    def summary(self) -> dict:
+        """JSON-able identity and hit/miss counters of this fast path."""
+        return {
+            "id": self.spec_id,
+            "regime": self.regime,
+            "strategy": self.strategy_name,
+            "drivers": len(self.fns),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Specialization({self.spec_id!r}, hits={self.hits})"
+
+
+# ----------------------------------------------------------------------
+# synthesizers, one per strategy type
+# ----------------------------------------------------------------------
+def _aggregate_fn(
+    strat: AggregationStrategy, engine: "CommEngineBase", driver: Driver
+) -> Callable[["CommEngineBase"], Any]:
+    """Aggregation with the per-packet segment limit pre-resolved."""
+    folded_max = strat.max_items
+    limit = folded_max if folded_max is not None else driver.max_segments_per_packet()
+
+    def fn(engine: "CommEngineBase") -> Any:
+        if strat.max_items != folded_max:
+            return MISS
+        for queue in engine.queues_for(driver):
+            if not len(queue):
+                continue
+            plan = build_from_queue(engine, driver, queue, max_items=limit)
+            if plan is not None:
+                return plan
+        return None
+
+    return fn
+
+
+def _nagle_fn(
+    strat: NagleStrategy,
+    engine: "CommEngineBase",
+    driver: Driver,
+    inner_fn: Callable[["CommEngineBase"], Any],
+) -> Callable[["CommEngineBase"], Any]:
+    """Nagle wrapper with delay/min-bytes resolution folded + guarded."""
+    config = engine.config
+    delay = strat.delay if strat.delay is not None else config.nagle_delay
+    min_bytes = (
+        strat.min_bytes if strat.min_bytes is not None else config.nagle_min_bytes
+    )
+
+    def fn(engine: "CommEngineBase") -> Any:
+        cfg = engine.config
+        if (
+            (strat.delay if strat.delay is not None else cfg.nagle_delay) != delay
+            or (
+                strat.min_bytes
+                if strat.min_bytes is not None
+                else cfg.nagle_min_bytes
+            )
+            != min_bytes
+        ):
+            return MISS
+        decision = inner_fn(engine)
+        if decision is MISS or not isinstance(decision, TransferPlan):
+            return decision
+        if decision.kind is not PacketKind.EAGER or delay <= 0:
+            return decision
+        if decision.payload_bytes >= min_bytes:
+            return decision
+        oldest = min(item.entry.submit_time for item in decision.items)
+        deadline = oldest + delay
+        if engine.sim.now >= deadline:
+            return decision
+        return Hold(wake_at=deadline)
+
+    return fn
+
+
+def _auto_fn(
+    strat: AutoStrategy, engine: "CommEngineBase", driver: Driver, regime: str
+) -> Callable[["CommEngineBase"], Any]:
+    """Auto meta-strategy pinned to one regime's inner strategy.
+
+    The regime guard doubles as the drift fallback: the moment the
+    backlog crosses the threshold the closure declines and the general
+    path (which handles both regimes) serves the decision.
+    """
+    selections = strat.selections
+    agg = _aggregate_fn(strat._aggregate, engine, driver)
+    inner_fn = (
+        agg if regime == "deep" else _nagle_fn(strat._nagle, engine, driver, agg)
+    )
+
+    def fn(engine: "CommEngineBase") -> Any:
+        # Probe the hysteresis without committing: on a MISS the general
+        # path re-resolves and commits the identical state itself.
+        resolved, contrary = strat._resolve_regime(engine.waiting.total_pending)
+        if resolved != regime:
+            return MISS
+        result = inner_fn(engine)
+        if result is MISS:
+            return MISS
+        strat._contrary = contrary
+        selections[regime] += 1
+        strat._last_regime = regime
+        return result
+
+    return fn
+
+
+def _search_fn(
+    strat: BoundedSearchStrategy, engine: "CommEngineBase", driver: Driver
+) -> Callable[["CommEngineBase"], Any] | None:
+    """Bounded search with the whole batched-kernel prologue folded.
+
+    This is a clone of
+    :meth:`~repro.core.strategies.search.BoundedSearchStrategy._make_plan_batched`
+    with everything the general path recomputes per decision hoisted to
+    synthesis time: driver cost constants, width ladder, config values,
+    the multirail flag, bound methods.  The score cache, budget
+    counters, and explain fields are the strategy's own, so specialized
+    and general calls interleave without observable difference.
+    """
+    if not (
+        search_mod._BATCHING_ENABLED
+        and type(engine.cost) is CostModel
+        and kernel.constants_for(driver).exact
+    ):
+        return None  # reference-kernel mode: keep the semantic oracle pure
+
+    consts = kernel.constants_for(driver)
+    config = engine.config
+    window_limit = config.lookahead_window
+    stripe_chunk = config.stripe_chunk
+    multirail = len(engine.drivers) > 1
+    cost = engine.cost
+    driver_key = id(driver)
+    full_width = consts.max_items_cap
+    widths = strat._widths(full_width)
+    folded_budget = strat.budget if strat.budget is not None else config.search_budget
+    SeedBuild = kernel.SeedBuild
+    score_packed = cost.score_packed
+    score = cost.score
+    probe_uniform_seeds = kernel.probe_uniform_seeds
+    build_eager_arrays = kernel.build_eager_arrays
+    oversized_waiting_indices = kernel.oversized_waiting_indices
+
+    def fn(engine: "CommEngineBase") -> Any:
+        cfg = engine.config
+        budget = strat.budget if strat.budget is not None else cfg.search_budget
+        if (
+            budget != folded_budget
+            or cfg.lookahead_window != window_limit
+            or cfg.stripe_chunk != stripe_chunk
+            or (len(engine.drivers) > 1) != multirail
+            or engine.cost is not cost
+        ):
+            return MISS
+
+        queues = engine.queues_for(driver)
+        for queue in queues:
+            arrays = queue.pending_arrays(window_limit)
+            if arrays.n:
+                for i in oversized_waiting_indices(arrays, consts):
+                    engine.park_for_rendezvous(arrays.entries[i], queue.channel_id)
+
+        now = engine.sim.now
+        if now != strat._cache_now:
+            strat._score_cache.clear()
+            strat._cache_now = now
+        cache = strat._score_cache
+
+        best_plan: TransferPlan | None = None
+        best_score = float("-inf")
+        best_key: tuple | None = None
+        best_build = None
+        best_probe: tuple | None = None
+        best_n = 0
+        best_meta: tuple | None = None
+        widest_seen = 0
+        evaluated = 0
+        out_of_budget = False
+        explain = engine.sim.tracer.enabled
+        try:
+            for queue in queues:
+                arrays = queue.pending_arrays(window_limit)
+                version = queue.version
+                channel_id = queue.channel_id
+
+                stats = probe_uniform_seeds(
+                    arrays, consts, full_width, widths, budget - evaluated
+                )
+                if stats is not None:
+                    for seed, (base_items, payload, oldest, snaps) in enumerate(
+                        stats
+                    ):
+                        if evaluated >= budget:
+                            out_of_budget = True
+                            break
+                        evaluated += 1
+                        if explain and base_items > widest_seen:
+                            widest_seen = base_items
+                        first = True
+                        for width in widths:
+                            if not first:
+                                if evaluated >= budget:
+                                    out_of_budget = True
+                                    break
+                                evaluated += 1
+                            first = False
+                            n_items = base_items if width >= base_items else width
+                            key = (driver_key, channel_id, version, seed, n_items)
+                            cached = cache.get(key)
+                            if cached is None:
+                                if n_items == base_items:
+                                    p, o = payload, oldest
+                                else:
+                                    p = -1
+                                    o = 0.0
+                                    for cut_n, cut_p, cut_o in snaps:
+                                        if cut_n == n_items:
+                                            p, o = cut_p, cut_o
+                                            break
+                                    assert p >= 0, "probe width cut missing"
+                                cached = (
+                                    score_packed(consts, n_items, p, o, now),
+                                    None,
+                                )
+                                cache[key] = cached
+                            c_score, plan = cached
+                            if c_score > best_score:
+                                best_score = c_score
+                                best_plan = plan
+                                best_key = key
+                                best_build = None
+                                best_probe = (arrays, channel_id, seed)
+                                best_n = n_items
+                                if explain:
+                                    best_meta = (channel_id, seed, n_items)
+                        if out_of_budget:
+                            break
+                    else:
+                        if len(stats) < arrays.n:
+                            if evaluated >= budget:
+                                out_of_budget = True
+                            else:
+                                evaluated += 1
+                    if out_of_budget:
+                        break
+                    continue
+
+                for seed in range(arrays.n):
+                    if evaluated >= budget:
+                        out_of_budget = True
+                        break
+                    base = build_eager_arrays(
+                        arrays,
+                        consts,
+                        engine,
+                        driver,
+                        channel_id,
+                        full_width,
+                        seed,
+                        False,
+                        stripe_chunk,
+                        multirail,
+                    )
+                    evaluated += 1
+                    if base is None:
+                        break
+                    is_prefix_family = type(base) is SeedBuild
+                    base_items = (
+                        base.n_items if is_prefix_family else len(base.items)
+                    )
+                    if explain and base_items > widest_seen:
+                        widest_seen = base_items
+                    first = True
+                    for width in widths:
+                        if not first:
+                            if evaluated >= budget:
+                                out_of_budget = True
+                                break
+                            evaluated += 1
+                        first = False
+                        n_items = base_items if width >= base_items else width
+                        key = (driver_key, channel_id, version, seed, n_items)
+                        cached = cache.get(key)
+                        if cached is None:
+                            if is_prefix_family:
+                                cached = (
+                                    score_packed(
+                                        consts,
+                                        n_items,
+                                        base.payload_prefix[n_items - 1],
+                                        base.oldest_prefix[n_items - 1],
+                                        now,
+                                    ),
+                                    None,
+                                )
+                            else:
+                                cached = (score(base, now), base)
+                            cache[key] = cached
+                        c_score, plan = cached
+                        if c_score > best_score:
+                            best_score = c_score
+                            best_plan = plan
+                            best_key = key
+                            best_build = base if is_prefix_family else None
+                            best_probe = None
+                            best_n = n_items
+                            if explain:
+                                best_meta = (channel_id, seed, n_items)
+                    if out_of_budget:
+                        break
+                if out_of_budget:
+                    break
+            if best_key is None:
+                return None
+            if best_plan is None:
+                if best_build is None:
+                    assert best_probe is not None
+                    p_arrays, p_channel, p_seed = best_probe
+                    best_build = build_eager_arrays(
+                        p_arrays,
+                        consts,
+                        engine,
+                        driver,
+                        p_channel,
+                        full_width,
+                        p_seed,
+                        False,
+                        stripe_chunk,
+                        multirail,
+                    )
+                    assert type(best_build) is SeedBuild
+                best_plan = best_build.plan(best_n)
+                cache[best_key] = (best_score, best_plan)
+            return best_plan
+        finally:
+            strat.last_evaluated = evaluated
+            strat.candidates_evaluated += evaluated
+            if explain:
+                strat._last_explain = {
+                    "candidates": evaluated,
+                    "budget": budget,
+                    "truncation": "budget" if out_of_budget else "exhausted",
+                    "widest_items": widest_seen,
+                    "best_score": best_score if best_key is not None else None,
+                    "seed_channel": best_meta[0] if best_meta else None,
+                    "seed": best_meta[1] if best_meta else None,
+                }
+            else:
+                strat._last_explain = None
+
+    return fn
+
+
+def synthesize(
+    strategy: Strategy,
+    engine: "CommEngineBase",
+    regime: str,
+    seq: int,
+) -> Specialization | None:
+    """Build a specialization of ``strategy`` for a stable ``regime``.
+
+    Returns ``None`` when the strategy type has no synthesizer (or the
+    kernel runs in reference mode) — the tuner then keeps tracking but
+    serves everything from the general path.
+    """
+    fns: dict[int, Callable] = {}
+    for driver in engine.drivers:
+        fn: Callable | None
+        if type(strategy) is BoundedSearchStrategy:
+            fn = _search_fn(strategy, engine, driver)
+        elif type(strategy) is AutoStrategy:
+            fn = _auto_fn(strategy, engine, driver, regime)
+        elif type(strategy) is AggregationStrategy:
+            fn = _aggregate_fn(strategy, engine, driver)
+        elif type(strategy) is NagleStrategy:
+            inner = strategy.inner
+            if type(inner) is not AggregationStrategy:
+                return None
+            fn = _nagle_fn(
+                strategy, engine, driver, _aggregate_fn(inner, engine, driver)
+            )
+        else:
+            return None
+        if fn is None:
+            return None
+        fns[id(driver)] = fn
+    name = type(strategy).name
+    return Specialization(f"{regime}/{name}#{seq}", regime, name, fns)
+
+
+# ----------------------------------------------------------------------
+# the wrapper behind the existing strategy interface
+# ----------------------------------------------------------------------
+class TunedStrategy(Strategy):
+    """Strategy facade: specialized fast path first, general fallback.
+
+    Installed by the tuner in place of the engine's strategy (never via
+    the registry — it is infrastructure, not a scenario-selectable
+    policy).  Each ``make_plan`` call first lets the tuner observe the
+    decision (regime tracking, sweep stepping, install/invalidate),
+    then tries the active specialization; a :data:`MISS` — no
+    specialization, unknown driver, or a failed guard — falls through
+    to the wrapped general path in the same call.
+    """
+
+    name = "tuned"
+
+    def __init__(self, inner: Strategy, tuner: "Tuner") -> None:
+        self.inner = inner
+        self._tuner = tuner
+        self._last_path = "general"
+        self._last_spec: str | None = None
+
+    def make_plan(
+        self, engine: "CommEngineBase", driver: Driver
+    ) -> TransferPlan | Hold | None:
+        tuner = self._tuner
+        tuner.on_decision(engine)
+        spec = tuner.active
+        if spec is not None:
+            fn = spec.fns.get(id(driver))
+            if fn is not None:
+                result = fn(engine)
+                if result is not MISS:
+                    spec.hits += 1
+                    tuner.stats.specialized += 1
+                    self._last_path = "specialized"
+                    self._last_spec = spec.spec_id
+                    return result
+                spec.misses += 1
+                tuner.stats.misses += 1
+        self._last_path = "general"
+        self._last_spec = None
+        return self.inner.make_plan(engine, driver)
+
+    def explain_last(self) -> dict | None:
+        explain: dict = {}
+        inner = self.inner.explain_last()
+        if inner:
+            explain.update(inner)
+        explain["inner_strategy"] = type(self.inner).name
+        explain["tuner_path"] = self._last_path
+        explain["tuner_regime"] = self._tuner.tracker.committed
+        if self._last_spec is not None:
+            explain["specialization"] = self._last_spec
+        return explain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TunedStrategy({self.inner!r})"

@@ -1,0 +1,77 @@
+"""Tests for the hysteretic regime tracker."""
+
+from repro.tuner import RegimeTracker
+
+
+def feed(tracker, backlogs):
+    """Feed a backlog trace; returns the indices of committed flips."""
+    return [i for i, b in enumerate(backlogs) if tracker.observe(b)]
+
+
+class TestClassification:
+    def test_boundary(self):
+        tracker = RegimeTracker(deep_backlog=8)
+        assert tracker.classify(7) == "sparse"
+        assert tracker.classify(8) == "deep"
+
+
+class TestDriftWindow:
+    def test_short_burst_does_not_flip(self):
+        """Contrary evidence shorter than the drift window is noise."""
+        tracker = RegimeTracker(min_dwell=2, drift_window=3, deep_backlog=8)
+        flips = feed(tracker, [0, 0, 20, 20, 0, 0])  # burst of 2 < window 3
+        assert flips == []
+        assert tracker.committed == "sparse"
+        assert tracker.flips == 0
+
+    def test_sustained_contrary_flips_once(self):
+        tracker = RegimeTracker(min_dwell=2, drift_window=3, deep_backlog=8)
+        flips = feed(tracker, [0, 0, 20, 20, 20, 20])
+        assert flips == [4]  # the third consecutive deep observation
+        assert tracker.committed == "deep"
+        assert tracker.flips == 1
+
+    def test_oscillating_trace_never_flips(self):
+        """The regression the hysteresis exists for: strict alternation
+        used to flip a raw classifier every observation; the tracker
+        stands still."""
+        tracker = RegimeTracker(min_dwell=4, drift_window=2, deep_backlog=8)
+        flips = feed(tracker, [0, 20] * 50)
+        assert flips == []
+        assert tracker.flips == 0
+        assert tracker.committed == "sparse"
+        # ... and the dwell clock kept running through the noise.
+        assert tracker.stable
+
+    def test_dwell_survives_sub_window_bursts(self):
+        tracker = RegimeTracker(min_dwell=4, drift_window=3, deep_backlog=8)
+        feed(tracker, [0, 0, 20, 0, 20, 20, 0])
+        assert tracker.committed == "sparse"
+        assert tracker.dwell == 7
+
+
+class TestStability:
+    def test_stable_after_min_dwell(self):
+        tracker = RegimeTracker(min_dwell=3, drift_window=2)
+        assert not tracker.stable
+        feed(tracker, [0, 0])
+        assert not tracker.stable
+        feed(tracker, [0])
+        assert tracker.stable
+
+    def test_flip_resets_dwell(self):
+        tracker = RegimeTracker(min_dwell=3, drift_window=2, deep_backlog=8)
+        feed(tracker, [0, 0, 0])
+        assert tracker.stable
+        feed(tracker, [20, 20])  # committed flip
+        assert tracker.committed == "deep"
+        assert not tracker.stable
+        assert tracker.dwell == 1
+
+    def test_summary_shape(self):
+        tracker = RegimeTracker()
+        tracker.observe(0)
+        summary = tracker.summary()
+        assert summary["regime"] == "sparse"
+        assert summary["observations"] == 1
+        assert set(summary) == {"regime", "stable", "dwell", "flips", "observations"}

@@ -1,0 +1,231 @@
+"""The tuner's core contracts: escape hatch, equivalence, fallback.
+
+* ``tuner: off`` (and no tuner block at all) dispatches **byte
+  identically** to a tuner-less build on the E2/E5-style workloads —
+  the escape hatch the whole subsystem is gated behind;
+* with the tuner *on* (specialization only — no sweep, no rails), a
+  stable regime serves specialized plans that are byte-identical to the
+  general path, so whole-run dispatch logs still match exactly;
+* a failed guard (drift of a folded value) falls back to the general
+  path **within the same decision** — no wrong plan, no dead cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.kernel import build_loaded_cluster
+from repro.core.config import EngineConfig
+from repro.core.strategies.search import BoundedSearchStrategy
+from repro.middleware import uniform_small_flows
+from repro.middleware.mpi_like import StreamApp
+from repro.runtime import Cluster, run_session
+from repro.tuner import ClusterTuner, Tuner, TunerConfig, TunedStrategy
+from repro.util.errors import ConfigurationError
+from repro.util.units import us
+
+from tests.core.test_kernel_equivalence import _record_dispatches, plan_signature
+
+
+def run_e2(tuner=None):
+    """Scaled-down E2 burst; returns (cluster, ordered dispatch log)."""
+    cluster = Cluster(seed=102, tuner=tuner)
+    log = _record_dispatches(cluster)
+    apps = uniform_small_flows(4, size=256, count=40, interval=1 * us)
+    run_session(cluster, [a.install for a in apps])
+    return cluster, log
+
+
+def run_e5(budget, tuner=None):
+    """Scaled-down E5 mixed streams over bounded search."""
+    cluster = Cluster(
+        n_nodes=3,
+        seed=5,
+        strategy=lambda: BoundedSearchStrategy(budget=budget),
+        tuner=tuner,
+    )
+    log = _record_dispatches(cluster)
+    apps = [
+        StreamApp(
+            "n0",
+            "n1" if i % 2 == 0 else "n2",
+            size=256 * (1 + i),
+            count=30,
+            interval=2 * us,
+            size_sigma=0.8,
+            name=f"s{i}",
+        )
+        for i in range(4)
+    ]
+    run_session(cluster, [a.install for a in apps])
+    return cluster, log
+
+
+def loaded_search_engine(depth=24):
+    """A statically loaded engine with an installed, warm tuner."""
+    cluster = build_loaded_cluster(
+        depth,
+        strategy=lambda: BoundedSearchStrategy(budget=16),
+        config=EngineConfig(lookahead_window=16),
+    )
+    engine = cluster.engine("n0")
+    driver = engine.drivers[0]
+    tuner = Tuner(engine, TunerConfig(min_dwell=2, drift_window=3))
+    tuner.install()
+    for _ in range(4):
+        engine.strategy.make_plan(engine, driver)
+    assert tuner.active is not None, "warmup failed to install a specialization"
+    return engine, driver, tuner
+
+
+class TestInstall:
+    def test_install_wraps_strategy(self):
+        cluster = Cluster(seed=0)
+        engine = cluster.engine("n0")
+        inner = engine.strategy
+        tuner = Tuner(engine)
+        tuner.install()
+        assert isinstance(engine.strategy, TunedStrategy)
+        assert engine.strategy.inner is inner
+
+    def test_double_install_rejected(self):
+        engine = Cluster(seed=0).engine("n0")
+        tuner = Tuner(engine)
+        tuner.install()
+        with pytest.raises(ConfigurationError, match="already installed"):
+            tuner.install()
+
+    def test_cluster_tuner_double_install_rejected(self):
+        cluster = Cluster(seed=0)
+        tuner = ClusterTuner()
+        tuner.install(cluster)
+        with pytest.raises(ConfigurationError, match="already installed"):
+            tuner.install(cluster)
+
+
+class TestEscapeHatch:
+    """``tuner: off`` must be the absence of the subsystem, not a branch."""
+
+    def test_disabled_block_leaves_engine_untouched(self):
+        cluster, _ = run_e2(tuner={"enabled": False})
+        for name in cluster.node_names:
+            engine = cluster.engine(name)
+            assert not isinstance(engine.strategy, TunedStrategy)
+            assert engine.rail_selector is None
+        assert cluster.tuner is None
+
+    def test_e2_dispatch_byte_identical(self):
+        _, baseline = run_e2()
+        assert baseline, "workload produced no dispatches"
+        _, disabled = run_e2(tuner={"enabled": False})
+        assert baseline == disabled
+
+    def test_e5_dispatch_byte_identical(self):
+        _, baseline = run_e5(budget=8)
+        assert baseline, "workload produced no dispatches"
+        _, disabled = run_e5(budget=8, tuner={"enabled": False})
+        assert baseline == disabled
+
+
+class TestSpecializedEquivalence:
+    """Tuner ON (specialization only): same bytes, faster path."""
+
+    def test_e2_identical_and_specialized(self):
+        _, baseline = run_e2()
+        cluster, tuned = run_e2(tuner={"min_dwell": 4})
+        assert tuned == baseline
+        totals = cluster.tuner.summary()["totals"]
+        assert totals["installs"] >= 1
+        assert totals["specialized"] > 0
+
+    def test_e5_identical_and_mostly_specialized(self):
+        _, baseline = run_e5(budget=8)
+        cluster, tuned = run_e5(budget=8, tuner={"min_dwell": 4})
+        assert tuned == baseline
+        totals = cluster.tuner.summary()["totals"]
+        assert totals["specialized"] / totals["decisions"] >= 0.5
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n_flows=st.integers(min_value=1, max_value=3),
+        size=st.integers(min_value=64, max_value=2048),
+        count=st.integers(min_value=5, max_value=25),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_stable_regime_is_byte_identical(
+        self, n_flows, size, count, seed
+    ):
+        """Satellite (c): across randomized workloads, a tuned run's
+        dispatch log equals the untuned one bit for bit."""
+
+        def run(tuner):
+            cluster = Cluster(seed=seed, tuner=tuner)
+            log = _record_dispatches(cluster)
+            apps = uniform_small_flows(
+                n_flows, size=size, count=count, interval=1 * us
+            )
+            run_session(cluster, [a.install for a in apps])
+            return log
+
+        assert run(None) == run({"min_dwell": 2})
+
+
+class TestDriftFallback:
+    def test_specialized_plan_matches_general(self):
+        engine, driver, tuner = loaded_search_engine()
+        wrapped = engine.strategy
+        specialized = wrapped.make_plan(engine, driver)
+        assert wrapped.explain_last()["tuner_path"] == "specialized"
+        general = wrapped.inner.make_plan(engine, driver)
+        assert plan_signature(specialized) == plan_signature(general)
+
+    def test_guard_failure_falls_back_within_one_decision(self):
+        engine, driver, tuner = loaded_search_engine()
+        misses = tuner.stats.misses
+        # Move a value the specialization folded: the very next decision
+        # must MISS the guard and still produce the general plan.
+        engine.config.lookahead_window = 8
+        plan = engine.strategy.make_plan(engine, driver)
+        assert tuner.stats.misses == misses + 1
+        assert engine.strategy.explain_last()["tuner_path"] == "general"
+        general = engine.strategy.inner.make_plan(engine, driver)
+        assert plan_signature(plan) == plan_signature(general)
+
+    def test_explain_last_reports_specialization(self):
+        engine, driver, tuner = loaded_search_engine()
+        engine.strategy.make_plan(engine, driver)
+        explain = engine.strategy.explain_last()
+        assert explain["tuner_path"] == "specialized"
+        assert explain["tuner_regime"] == "deep"
+        assert explain["specialization"] == tuner.active.spec_id
+        assert explain["inner_strategy"] == "search"
+
+
+class TestHistory:
+    def test_install_then_drift_invalidation(self):
+        engine, driver, tuner = loaded_search_engine()
+        spec_id = tuner.active.spec_id
+        assert tuner.history[-1] == ("install", spec_id, "deep")
+        invalidations = tuner.stats.invalidations
+        # Starve the tracker: a sustained sparse streak past the drift
+        # window commits a flip and must tear the specialization down.
+        from types import SimpleNamespace
+
+        idle = SimpleNamespace(waiting=SimpleNamespace(total_pending=0))
+        for _ in range(3):
+            tuner.on_decision(idle)
+        assert tuner.active is None
+        assert tuner.stats.invalidations == invalidations + 1
+        assert tuner.history[-1] == ("invalidate", spec_id, "drift")
+
+    def test_summary_shape(self):
+        engine, driver, tuner = loaded_search_engine()
+        summary = tuner.summary()
+        assert summary["installs"] == tuner.stats.installs >= 1
+        assert summary["active"]["id"] == tuner.active.spec_id
+        assert summary["active"]["regime"] == "deep"
+        assert summary["tracker"]["regime"] == "deep"
+        assert summary["history"][0]["event"] == "install"
+        assert "sweep" not in summary and "rails" not in summary
