@@ -11,6 +11,7 @@ Usage::
     python -m repro obs analyze trace.json   # timelines + decision summary
     python -m repro obs diff base.json cand.json --check   # regression gate
     python -m repro obs tail merged.jsonl --scenario s.json --check  # SLO gate
+    python -m repro obs why trace.jsonl --slowest 5   # causal latency blame
     python -m repro bench [ids] [--quick]  # alias for python -m repro.bench
 """
 
@@ -336,6 +337,12 @@ def _cmd_obs_tail(args) -> int:
     return tail_main(args)
 
 
+def _cmd_obs_why(args) -> int:
+    from repro.obs.causal import main as why_main
+
+    return why_main(args)
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -563,6 +570,37 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     tail_parser.set_defaults(func=_cmd_obs_tail)
+
+    why_parser = obs_sub.add_parser(
+        "why",
+        help="causal latency attribution: why was this message late?",
+    )
+    why_parser.add_argument(
+        "trace", help="trace file (.jsonl or Chrome JSON; merged live or sim)"
+    )
+    why_parser.add_argument(
+        "--message",
+        metavar="ID",
+        help="explain one message: 'NODE#mID' (e.g. n0#m3) or a bare id",
+    )
+    why_parser.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="K",
+        help="show waterfalls for the K slowest messages (default 5)",
+    )
+    why_parser.add_argument(
+        "--edge",
+        metavar="SRC:DST",
+        help="restrict the report to one edge, e.g. n0:n1",
+    )
+    why_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the attribution report as JSON on stdout",
+    )
+    why_parser.set_defaults(func=_cmd_obs_why)
 
     bench_parser = subparsers.add_parser("bench", help="run experiments")
     bench_parser.add_argument("experiments", nargs="*", metavar="ID")

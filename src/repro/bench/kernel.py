@@ -298,15 +298,18 @@ def tracing_overhead(
       the bare cost of the guard branches;
     * ``off``   — the production default: NullTracer, no sinks,
       ``enabled`` False;
-    * ``full``  — a :class:`~repro.obs.recorder.RingBufferSink`
-      subscribed: explain collection, score breakdowns, and one
-      ``optimizer.decide`` record per decision, retained in the ring.
+    * ``full``  — a :class:`~repro.obs.recorder.RingBufferSink` plus a
+      :class:`~repro.obs.causal.TailExemplars` reservoir subscribed
+      (the sinks a traced plane installs): explain collection, score
+      breakdowns, one ``optimizer.decide`` record per decision retained
+      in the ring, and the span-collector dispatch per event.
 
     Every loop replicates the pump's emission guard, so ``full`` pays
     for the decide record exactly as a traced run does.  Returns the
     three rates plus ``overhead_off`` (off vs inert) and
     ``overhead_full`` (full vs off) as fractions.
     """
+    from repro.obs.causal import TailExemplars
     from repro.obs.recorder import RingBufferSink
 
     def setup(traced: bool):
@@ -318,6 +321,7 @@ def tracing_overhead(
         engine = cluster.engine("n0")
         if traced:
             cluster.sim.tracer.subscribe(RingBufferSink(4096))
+            cluster.sim.tracer.subscribe(TailExemplars(4))
         return engine
 
     engines = {

@@ -167,6 +167,7 @@ class CommEngineBase:
                 "collect.enqueue",
                 message=message.message_id,
                 flow=message.flow.name,
+                dst=message.flow.dst,
                 fragments=len(message.fragments),
                 bytes=message.total_size,
             )
@@ -352,9 +353,19 @@ class CommEngineBase:
                 f"engine:{self.node_name}",
                 "engine.dispatch",
                 packet_kind=kind,
+                packet=packet.packet_id,
+                dst=plan.dst,
                 segments=len(segments),
                 bytes=packet.payload_bytes,
                 nic=plan.driver.name,
+                messages=[
+                    [
+                        seg.payload.message.message_id,
+                        seg.payload.fragment_id,
+                        seg.length,
+                    ]
+                    for seg in segments
+                ],
             )
 
     # ------------------------------------------------------------------
@@ -373,10 +384,24 @@ class CommEngineBase:
             self.sim.cancel(self._hold_timer)
         self._hold_wake = wake_at
         self._hold_timer = self.sim.at(wake_at, self._hold_expired)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now,
+                f"engine:{self.node_name}",
+                "hold.arm",
+                wake_at=wake_at,
+                backlog=self.waiting.total_pending,
+            )
 
     def _hold_expired(self) -> None:
         self._hold_timer = None
         self._hold_wake = float("inf")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now, f"engine:{self.node_name}", "hold.fire"
+            )
         self._pump("nagle")
 
     # ------------------------------------------------------------------
@@ -426,6 +451,9 @@ class CommEngineBase:
                 entry=entry.entry_id,
                 token=token,
                 bytes=entry.remaining,
+                message=(
+                    entry.message.message_id if entry.message is not None else None
+                ),
             )
 
     def _handle_rdv_req(self, packet: WirePacket) -> None:
@@ -522,6 +550,9 @@ class CommEngineBase:
                 "rdv.ready",
                 entry=entry.entry_id,
                 token=token,
+                message=(
+                    entry.message.message_id if entry.message is not None else None
+                ),
             )
         self._kick("rdv-ready")
 
@@ -554,6 +585,9 @@ class CommEngineBase:
                 entry=entry.entry_id,
                 token=token,
                 bytes=entry.remaining,
+                message=(
+                    entry.message.message_id if entry.message is not None else None
+                ),
             )
         self._kick("rdv-timeout")
 

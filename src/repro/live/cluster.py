@@ -61,6 +61,7 @@ from typing import Any, Mapping
 from repro.live.chaos import ChaosConfig
 from repro.live.liveness import DeadPeer, PeerWatchdog
 from repro.network.virtual import TrafficClass
+from repro.obs.causal import attribute_events, export_blame
 from repro.obs.merge import (
     MergedTrace,
     OffsetSample,
@@ -150,6 +151,9 @@ class _ObsState:
         self._metrics_by_peer: dict[str, Mapping[str, Any]] = {}
         self._status: dict[str, Any] = {"phase": "starting"}
         self._peers: dict[str, Any] = {"dead": [], "alive": []}
+        self._events_by_peer: dict[str, list[TraceEvent]] = {}
+        self._offset_samples: list[OffsetSample] = []
+        self._why_cache: tuple[int, dict[str, Any]] | None = None
 
     def update_metrics(self, node: str, snapshot: Mapping[str, Any]) -> None:
         with self._lock:
@@ -162,6 +166,22 @@ class _ObsState:
     def update_peers(self, summary: Mapping[str, Any]) -> None:
         with self._lock:
             self._peers = dict(summary)
+
+    def update_events(
+        self,
+        events_by_peer: Mapping[str, list[TraceEvent]],
+        samples: list[OffsetSample],
+    ) -> None:
+        """Snapshot the streamed-so-far trace for the ``/why`` route.
+
+        Shallow copies (events are immutable) taken under the lock so
+        the HTTP thread never observes the poll loop mid-append.
+        """
+        with self._lock:
+            self._events_by_peer = {
+                node: list(events) for node, events in events_by_peer.items()
+            }
+            self._offset_samples = list(samples)
 
     def metrics_text(self) -> str:
         with self._lock:
@@ -208,6 +228,39 @@ class _ObsState:
         with self._lock:
             per_peer = dict(self._metrics_by_peer)
         return pool_tuner_counters(per_peer)
+
+    def why(self) -> dict[str, Any]:
+        """In-flight causal-attribution view for ``GET /why``.
+
+        Attributes the events flushed so far, aligned with the clock
+        offsets estimable at this point of the run; the exact post-run
+        view is ``LiveRunResult.tails["blame"]``.  Cached by total
+        event count, so polling between flushes costs nothing.
+        """
+        with self._lock:
+            per_peer = {
+                node: list(events)
+                for node, events in self._events_by_peer.items()
+            }
+            samples = list(self._offset_samples)
+        total = sum(len(events) for events in per_peer.values())
+        cached = self._why_cache
+        if cached is not None and cached[0] == total:
+            return cached[1]
+        crossings = extract_crossings(per_peer)
+        offsets = estimate_offsets(samples, crossings, peers=per_peer.keys())
+        merged = align_events(per_peer, offsets)
+        report = attribute_events(merged.events)
+        payload = {
+            "note": "mid-run view over flushed events; exact post-run "
+            "blame is in the run result",
+            "messages": len(report.messages),
+            "incomplete": report.incomplete,
+            "edges": report.edges(),
+            "slowest": [b.to_dict() for b in report.slowest(5)],
+        }
+        self._why_cache = (total, payload)
+        return payload
 
 
 def pool_tuner_counters(
@@ -488,6 +541,7 @@ class _ObsCollector:
         self.samples: list[OffsetSample] = []
         self.events_by_peer: dict[str, list[TraceEvent]] = {}
         self.metrics_by_peer: dict[str, Mapping[str, Any]] = {}
+        self.exemplars_by_peer: dict[str, Mapping[str, Any]] = {}
         self.nodes: dict[int, str] = {}
 
     def timed_request(
@@ -527,6 +581,8 @@ class _ObsCollector:
             bucket.extend(_event_from_wire(e) for e in reply["events"])
         if reply.get("metrics") is not None:
             self.metrics_by_peer[node] = reply["metrics"]
+        if reply.get("exemplars") is not None:
+            self.exemplars_by_peer[node] = reply["exemplars"]
 
     def ingest_report(self, payload: Mapping[str, Any]) -> None:
         node = str(payload["node"])
@@ -535,6 +591,8 @@ class _ObsCollector:
             bucket.extend(_event_from_wire(e) for e in payload["trace"])
         if payload.get("metrics") is not None:
             self.metrics_by_peer[node] = payload["metrics"]
+        if payload.get("exemplars") is not None:
+            self.exemplars_by_peer[node] = payload["exemplars"]
 
     def merge(self) -> MergedTrace:
         crossings = extract_crossings(self.events_by_peer)
@@ -569,7 +627,8 @@ def run_live_scenario(
     every poll and the result carries one aligned merged trace.
     ``serve`` (``"PORT"``/``":PORT"``/``"HOST:PORT"``) additionally
     exposes live cluster ``/metrics`` (Prometheus text), ``/status``
-    (JSON), ``/peers`` (liveness) and ``/tails`` (tail-latency view)
+    (JSON), ``/peers`` (liveness), ``/tails`` (tail-latency view),
+    ``/tuner`` (online adaptation) and ``/why`` (causal attribution)
     for the duration of the run.
 
     A scenario ``"faults"`` block arms chaos injection *and* the
@@ -627,13 +686,13 @@ def run_live_scenario(
         if serve_host is not None:
             server = ObsHTTPServer(
                 obs_state.metrics_text, obs_state.status, obs_state.peers,
-                obs_state.tails, obs_state.tuner,
+                obs_state.tails, obs_state.tuner, obs_state.why,
                 host=serve_host, port=serve_port,
             )
             server.start()
             print(
-                f"[repro.live] serving /metrics, /status, /peers, /tails "
-                f"and /tuner on {server.address}",
+                f"[repro.live] serving /metrics, /status, /peers, /tails, "
+                f"/tuner and /why on {server.address}",
                 file=sys.stderr,
             )
         endpoints: dict[int, dict[str, Any]] = {}
@@ -775,6 +834,8 @@ def run_live_scenario(
                 if server is not None:
                     for node, snapshot in obs.metrics_by_peer.items():
                         obs_state.update_metrics(node, snapshot)
+                    if trace_on:
+                        obs_state.update_events(obs.events_by_peer, obs.samples)
             dead_nodes = (
                 sorted(d.node for d in watchdog.dead.values())
                 if watchdog is not None
@@ -897,7 +958,25 @@ def run_live_scenario(
     for payload in peer_reports:
         obs.ingest_report(payload)
     merged = obs.merge()
-    events = [event_to_dict(e) for e in merged.events]
+    aligned = list(merged.events)
+    # The merged trace is truncated whenever any peer's spool evicted
+    # events before a drain; mark it the same way the sim flight
+    # recorder marks its exports so obs analyze / obs why warn loudly.
+    spool_dropped = sum(p.get("trace_dropped") or 0 for p in peer_reports)
+    if spool_dropped:
+        aligned.append(
+            TraceEvent(
+                time=aligned[-1].time if aligned else 0.0,
+                source="obs:coordinator",
+                kind="obs.truncated",
+                detail={
+                    "seen": sum(p.get("trace_seen") or 0 for p in peer_reports),
+                    "dropped": spool_dropped,
+                    "capacity": None,
+                },
+            )
+        )
+    events = [event_to_dict(e) for e in aligned]
     if dead_peers and obs.metrics_by_peer:
         # Death accounting lives with the authority that declared it:
         # a pseudo-peer snapshot, so /metrics and obs diff see it with
@@ -939,6 +1018,23 @@ def run_live_scenario(
                 latency_p99_us=pooled.quantile(0.99),
                 latency_p999_us=pooled.quantile(0.999),
             )
+    # Post-run causal attribution over the offset-corrected merged
+    # trace — the coordinator is the only vantage point that sees a
+    # sender's submit and the receiver's delivery in one stream.
+    if trace_on:
+        blame_report = attribute_events(aligned)
+        if blame_report.messages or obs.exemplars_by_peer:
+            blame_edges = blame_report.edges()
+            tails["blame"] = {
+                "messages": len(blame_report.messages),
+                "incomplete": blame_report.incomplete,
+                "truncated": blame_report.truncated,
+                "edges": blame_edges,
+                "slowest": [b.to_dict() for b in blame_report.slowest(5)],
+                "peer_exemplars": dict(obs.exemplars_by_peer),
+            }
+            if cluster_registry is not None:
+                export_blame(blame_edges, cluster_registry)
     rtts = [
         sample
         for p in peer_reports
@@ -951,7 +1047,7 @@ def run_live_scenario(
         peer_reports=peer_reports,
         trace_events=events,
         rtts=rtts,
-        aligned_events=merged.events,
+        aligned_events=aligned,
         offsets=merged.offsets,
         crossings_matched=merged.crossings_matched,
         crossings_clamped=merged.crossings_clamped,

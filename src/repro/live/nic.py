@@ -150,6 +150,7 @@ class LiveNIC(NIC):
                 bytes=packet.payload_bytes,
                 segments=packet.segment_count,
                 dst=packet.dst,
+                occupancy=occupancy,
                 live_bytes=len(data),
                 corr=corr,
             )

@@ -1016,6 +1016,7 @@ class LivePeer:
                 ring_buffer=ring if ring is not None else _RING_DEFAULT,
                 trace=self.obs_config.trace,
                 slo=self.obs_config.slo,
+                exemplars=self.obs_config.exemplars,
             )
         )
         self.obs_adapter = PeerClusterAdapter(
@@ -1339,7 +1340,7 @@ class LivePeer:
         # keeps the in-flight /metrics view from reading all-zero until
         # the final report.
         self._mirror_live_metrics()
-        return {
+        reply = {
             "type": "flushed",
             "node": self.local,
             "now": self.clock.refresh(),
@@ -1347,6 +1348,9 @@ class LivePeer:
             "spool_dropped": self.spool.dropped if self.spool is not None else 0,
             "metrics": self.plane.registry.to_snapshot(),
         }
+        if self.plane.tail_exemplars is not None:
+            reply["exemplars"] = self.plane.tail_exemplars.snapshot()
+        return reply
 
     def _mirror_live_metrics(self) -> None:
         """Mirror live-plane counters (hub, mirror, spool) into the registry.
@@ -1517,6 +1521,11 @@ class LivePeer:
         # drop counters say so honestly instead of silently capping.
         trace_events = self.spool.drain() if self.spool is not None else []
         ring = self.plane.sink
+        exemplars = (
+            self.plane.tail_exemplars.snapshot()
+            if self.plane.tail_exemplars is not None
+            else None
+        )
         return {
             "type": "report",
             "node": self.local,
@@ -1558,6 +1567,7 @@ class LivePeer:
             "ring_dropped": ring.dropped if ring is not None else 0,
             "streamed": self._flushed,
             "metrics": self.plane.registry.to_snapshot(),
+            "exemplars": exemplars,
             "fatal": self.hub.fatal,
         }
 

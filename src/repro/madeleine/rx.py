@@ -207,6 +207,7 @@ class MessageReassembler:
                 "message.complete",
                 message=message.message_id,
                 flow=message.flow.name,
+                src=message.flow.src,
                 bytes=message.total_size,
                 submit_time=message.submit_time,
             )

@@ -223,6 +223,7 @@ class NIC:
                 bytes=packet.payload_bytes,
                 segments=packet.segment_count,
                 dst=packet.dst,
+                occupancy=occupancy,
             )
         if self.transport is not None:
             self.transport.transmit(self, packet, one_way)

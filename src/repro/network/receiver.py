@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.network.wire import PacketKind, WirePacket
+from repro.network.wire import META_CORR, PacketKind, WirePacket
 from repro.sim.engine import Simulator
 from repro.util.errors import ProtocolError
 
@@ -113,6 +113,8 @@ class Receiver:
                 packet_kind=packet.kind.value,
                 channel=packet.channel_id,
                 bytes=packet.payload_bytes,
+                src=packet.src,
+                corr=packet.meta.get(META_CORR),
             )
         if packet.kind.is_control:
             handler = self._control_handlers.get(packet.kind)

@@ -295,7 +295,11 @@ class ReliableTransport:
                 nic.stats.drops += 1
                 if tracer.enabled:
                     tracer.emit(
-                        self._sim.now, f"rel:{nic.name}", "rel.drop", packet=packet.packet_id
+                        self._sim.now,
+                        f"rel:{nic.name}",
+                        "rel.drop",
+                        packet=packet.packet_id,
+                        attempt=pending.attempts,
                     )
             else:
                 if verdict.corrupt:
@@ -433,9 +437,31 @@ class ReliableTransport:
         if released is None:
             self.stats.dups_discarded += 1
             return
+        tracer = self._sim.tracer
         if not released:
             self.stats.reorder_held += 1
+            if tracer.enabled:
+                tracer.emit(
+                    self._sim.now,
+                    f"rel:{packet.dst}",
+                    "reorder.enter",
+                    packet=packet.packet_id,
+                    src=packet.src,
+                    seq=seq,
+                    expected=ledger.expected,
+                )
             return
+        if tracer.enabled:
+            # released[0] is the arriving packet (never buffered); any
+            # trailing packets sat in the reorder buffer until now.
+            for ready in released[1:]:
+                tracer.emit(
+                    self._sim.now,
+                    f"rel:{packet.dst}",
+                    "reorder.release",
+                    packet=ready.packet_id,
+                    src=ready.src,
+                )
         for ready in released:
             receiver.dispatch(ready)
             self.stats.delivered += 1

@@ -29,6 +29,15 @@ registry over HTTP during the run, and :mod:`repro.obs.diff` gates two
 runs against each other (``python -m repro obs diff A B --check``).
 """
 
+from repro.obs.causal import (
+    BLAME_BUCKETS,
+    CausalReport,
+    MessageBlame,
+    TailExemplars,
+    attribute_chain,
+    attribute_events,
+    render_waterfall,
+)
 from repro.obs.export import load_events, to_chrome_trace, write_trace
 from repro.obs.merge import (
     Crossing,
@@ -51,9 +60,10 @@ from repro.obs.metrics import (
     QuantileSketch,
 )
 from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
-from repro.obs.recorder import ListSink, RingBufferSink
+from repro.obs.recorder import ListSink, RingBufferSink, truncation_marker
 from repro.obs.sampler import ObservabilitySampler, ObsSample
 from repro.obs.serve import ObsHTTPServer, parse_serve_address
+from repro.obs.spans import Leg, MessageChain, SpanCollector
 from repro.obs.tails import (
     SLObjective,
     SLOStatus,
@@ -67,12 +77,17 @@ from repro.obs.tails import (
 )
 
 __all__ = [
+    "BLAME_BUCKETS",
+    "CausalReport",
     "Counter",
     "Crossing",
     "Gauge",
     "Histogram",
+    "Leg",
     "ListSink",
     "MergedTrace",
+    "MessageBlame",
+    "MessageChain",
     "MetricsRegistry",
     "ObsHTTPServer",
     "ObsSample",
@@ -84,11 +99,15 @@ __all__ = [
     "RingBufferSink",
     "SLObjective",
     "SLOStatus",
+    "SpanCollector",
+    "TailExemplars",
     "TailRecorder",
     "TailStats",
     "TailView",
     "aggregate_registries",
     "align_events",
+    "attribute_chain",
+    "attribute_events",
     "correct_edge_sketches",
     "estimate_offsets",
     "evaluate_slo",
@@ -101,6 +120,8 @@ __all__ = [
     "parse_serve_address",
     "parse_slo",
     "pooled_message_sketch",
+    "render_waterfall",
     "to_chrome_trace",
+    "truncation_marker",
     "write_trace",
 ]

@@ -29,6 +29,7 @@ interactive version.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -173,6 +174,18 @@ class TraceAnalysis:
     hold_starved_samples: int = 0
     hold_starved_streak: int = 0  #: longest consecutive run of the above
     samples: int = 0  #: obs.sample ticks seen
+    #: flight-recorder accounting from an ``obs.truncated`` marker.
+    trace_seen: int | None = None
+    trace_dropped: int = 0
+    #: causal blame per edge: "src->dst" -> blame summary (see obs.causal).
+    blame: dict[str, dict] = field(default_factory=dict)
+    blame_messages: int = 0
+    blame_incomplete: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """The input trace lost events to ring-buffer eviction."""
+        return self.trace_dropped > 0
 
     @property
     def miss_fraction(self) -> float:
@@ -190,14 +203,19 @@ class TraceAnalysis:
 
 def analyze_events(events: list[TraceEvent]) -> TraceAnalysis:
     """Run the full analysis over normalized trace events."""
+    from repro.obs.causal import attribute_chain
+    from repro.obs.spans import SpanCollector
+
     analysis = TraceAnalysis()
     analysis.n_events = len(events)
     if events:
         analysis.span = (events[0].time, max(e.time for e in events))
     retransmit_times: list[float] = []
     streak = 0
+    spans = SpanCollector()
     for event in events:
         analysis.kinds[event.kind] = analysis.kinds.get(event.kind, 0) + 1
+        spans.ingest(event)
         if event.kind == "obs.sample":
             starved = _ingest_sample(analysis, event)
             analysis.samples += 1
@@ -217,6 +235,30 @@ def analyze_events(events: list[TraceEvent]) -> TraceAnalysis:
             retransmit_times.append(event.time)
     analysis.retransmit_count = len(retransmit_times)
     analysis.retransmit_storms = _count_storms(retransmit_times)
+    spans.finish()
+    analysis.trace_seen = spans.trace_seen
+    analysis.trace_dropped = spans.trace_dropped
+    analysis.blame_incomplete = spans.incomplete
+    blame_edges: dict[str, dict] = {}
+    for chain in spans.drain_completed():
+        blame = attribute_chain(chain, spans.hold_windows)
+        if blame is None:
+            continue
+        analysis.blame_messages += 1
+        slot = blame_edges.setdefault(
+            blame.edge, {"messages": 0, "e2e_s": 0.0, "buckets_s": {}}
+        )
+        slot["messages"] += 1
+        slot["e2e_s"] += blame.e2e
+        for bucket, value in blame.buckets.items():
+            slot["buckets_s"][bucket] = slot["buckets_s"].get(bucket, 0.0) + value
+    for slot in blame_edges.values():
+        e2e = slot["e2e_s"]
+        slot["fractions"] = {
+            bucket: (value / e2e if e2e > 0 else 0.0)
+            for bucket, value in slot["buckets_s"].items()
+        }
+    analysis.blame = blame_edges
     return analysis
 
 
@@ -329,6 +371,13 @@ def analyze_file(path: str | Path) -> TraceAnalysis:
 def render(analysis: TraceAnalysis, *, width: int = 60, top: int = 5) -> str:
     """ASCII report of an analysis: timelines + decision summary."""
     lines: list[str] = []
+    if analysis.truncated:
+        from repro.obs.causal import truncation_warning
+
+        lines.append(
+            truncation_warning(analysis.trace_dropped, analysis.trace_seen)
+        )
+        lines.append("")
     t0, t1 = analysis.span
     lines.append(
         f"events: {analysis.n_events}  kinds: {len(analysis.kinds)}  "
@@ -416,6 +465,30 @@ def render(analysis: TraceAnalysis, *, width: int = 60, top: int = 5) -> str:
             f"{analysis.samples} samples had a Nagle hold armed with every "
             f"NIC idle (longest streak {analysis.hold_starved_streak})"
         )
+
+    if analysis.blame:
+        lines.append("")
+        lines.append(
+            f"causal blame per edge ({analysis.blame_messages} message(s) "
+            f"attributed, {analysis.blame_incomplete} incomplete; "
+            "see 'obs why' for waterfalls):"
+        )
+        name_width = max(len(e) for e in analysis.blame)
+        for edge_name in sorted(analysis.blame):
+            slot = analysis.blame[edge_name]
+            dominant = sorted(
+                (
+                    (bucket, frac)
+                    for bucket, frac in slot["fractions"].items()
+                    if frac > 0
+                ),
+                key=lambda kv: -kv[1],
+            )[:3]
+            parts = "  ".join(f"{b}={f:.1%}" for b, f in dominant)
+            lines.append(
+                f"  {edge_name:<{name_width}}  n={slot['messages']:<5} "
+                f"{parts or 'all zero'}"
+            )
 
     lines.append("")
     lines.append("aggregation opportunities (optimizer.decide records):")
@@ -506,6 +579,12 @@ def summary_metrics(analysis: TraceAnalysis) -> dict[str, float]:
         out[f"{prefix}/ratio"] = wire.ratio
         out[f"{prefix}/data_packets"] = float(wire.data_packets)
         out[f"{prefix}/segments"] = float(wire.segments)
+    out["blame/messages"] = float(analysis.blame_messages)
+    if analysis.trace_dropped:
+        out["trace/dropped"] = float(analysis.trace_dropped)
+    for edge_name, slot in sorted(analysis.blame.items()):
+        for bucket, fraction in sorted(slot["fractions"].items()):
+            out[f"blame/{edge_name}/{bucket}_fraction"] = fraction
     return out
 
 
@@ -516,6 +595,13 @@ def main(args) -> int:
         print(f"== observability analysis: {path} ==")
         analysis = analyze_file(path)
         print(render(analysis, width=args.width, top=args.top))
+        if analysis.truncated:
+            from repro.obs.causal import truncation_warning
+
+            print(
+                truncation_warning(analysis.trace_dropped, analysis.trace_seen),
+                file=sys.stderr,
+            )
     except BrokenPipeError:  # e.g. piped into head; not an error
         return 0
     return 0

@@ -43,6 +43,7 @@ WORSE_IF_HIGHER = (
     "timeout",
     "starv",
     "burn",
+    "unattributed",
     "_us",
 )
 

@@ -20,6 +20,7 @@ Scenarios opt in with a top-level ``"observability"`` block::
       "sample_interval": 1e-5,     # simulated seconds; null disables
       "ring_buffer": 65536,        # keep last N events; null = keep all
       "trace": true,               # capture trace events at all
+      "exemplars": 5,              # slowest-K span chains kept per edge
       "slo": [                     # latency objectives (see obs.tails)
         {"name": "edge", "edge": "*", "threshold_us": 5000,
          "target": 0.99, "windows": [1.0, 10.0]}
@@ -37,9 +38,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro.obs.causal import TailExemplars
 from repro.obs.export import write_trace
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.recorder import ListSink, RingBufferSink
+from repro.obs.recorder import ListSink, RingBufferSink, truncation_marker
 from repro.obs.sampler import ObservabilitySampler
 from repro.obs.tails import SLObjective, TailRecorder, TailView, parse_slo
 from repro.util.errors import ConfigurationError
@@ -50,7 +52,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["ObservabilityConfig", "ObservabilityPlane"]
 
-_SPEC_KEYS = frozenset({"sample_interval", "ring_buffer", "trace", "slo"})
+_SPEC_KEYS = frozenset(
+    {"sample_interval", "ring_buffer", "trace", "slo", "exemplars"}
+)
+
+#: Slowest-K span chains kept per edge when the scenario does not say.
+_DEFAULT_EXEMPLARS = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,12 +79,18 @@ class ObservabilityConfig:
     slo:
         Latency objectives evaluated over the edge tail sketches
         (see :mod:`repro.obs.tails`).
+    exemplars:
+        Slowest-K span chains kept per edge by the causal-attribution
+        reservoir (see :class:`repro.obs.causal.TailExemplars`).
+        ``None`` takes the default K; ``0`` disables the reservoir.
+        Only meaningful with ``trace`` on.
     """
 
     sample_interval: float | None = None
     ring_buffer: int | None = None
     trace: bool = True
     slo: tuple[SLObjective, ...] = ()
+    exemplars: int | None = None
 
     def __post_init__(self) -> None:
         if self.sample_interval is not None and self.sample_interval <= 0:
@@ -87,6 +100,10 @@ class ObservabilityConfig:
         if self.ring_buffer is not None and self.ring_buffer < 1:
             raise ConfigurationError(
                 f"ring_buffer must be >= 1, got {self.ring_buffer}"
+            )
+        if self.exemplars is not None and self.exemplars < 0:
+            raise ConfigurationError(
+                f"exemplars must be >= 0, got {self.exemplars}"
             )
 
     @classmethod
@@ -102,6 +119,7 @@ class ObservabilityConfig:
             ring_buffer=spec.get("ring_buffer"),
             trace=spec.get("trace", True),
             slo=parse_slo(spec.get("slo")),
+            exemplars=spec.get("exemplars"),
         )
 
 
@@ -115,6 +133,7 @@ class ObservabilityPlane:
         self.sampler: ObservabilitySampler | None = None
         self.tail_view = TailView(self.registry, self.config.slo)
         self.tail_recorder: TailRecorder | None = None
+        self.tail_exemplars: TailExemplars | None = None
         self._cluster: "Cluster | None" = None
         if self.config.trace:
             self.sink = (
@@ -123,6 +142,13 @@ class ObservabilityPlane:
                 else ListSink()
             )
             self.tail_recorder = TailRecorder(self.registry)
+            k = (
+                _DEFAULT_EXEMPLARS
+                if self.config.exemplars is None
+                else self.config.exemplars
+            )
+            if k > 0:
+                self.tail_exemplars = TailExemplars(k)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -136,6 +162,8 @@ class ObservabilityPlane:
             cluster.sim.tracer.subscribe(self.sink)
         if self.tail_recorder is not None:
             cluster.sim.tracer.subscribe(self.tail_recorder)
+        if self.tail_exemplars is not None:
+            cluster.sim.tracer.subscribe(self.tail_exemplars)
         # The view is read-only and only feeds tracing-side records
         # (tail_hint), so handing it to every engine cannot change
         # dispatch — the identity tests pin that.
@@ -211,6 +239,9 @@ class ObservabilityPlane:
                 "repro_trace_events_dropped_total",
                 help="Trace events evicted by the flight recorder",
             ).set_total(self.sink.dropped)
+        if self.tail_exemplars is not None:
+            self.tail_exemplars.finish()
+            self.tail_exemplars.export(registry)
 
     # ------------------------------------------------------------------
     # access + export
@@ -221,12 +252,20 @@ class ObservabilityPlane:
         return list(self.sink.events) if self.sink is not None else []
 
     def write_trace(self, path: str | Path) -> str:
-        """Export captured events; format chosen by extension."""
+        """Export captured events; format chosen by extension.
+
+        A flight recorder that overflowed gets an ``obs.truncated``
+        marker appended, so offline consumers can warn about the
+        evicted prefix instead of reading the window as a full run.
+        """
         if self.sink is None:
             raise ConfigurationError(
                 "no trace captured: the observability plane has trace=false"
             )
-        return write_trace(path, self.sink.events)
+        events = self.sink.events
+        if self.sink.dropped:
+            events = events + [truncation_marker(self.sink)]
+        return write_trace(path, events)
 
     def write_metrics(self, path: str | Path) -> None:
         """Export the registry as Prometheus text exposition."""

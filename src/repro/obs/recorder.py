@@ -21,7 +21,28 @@ from typing import Iterator
 from repro.util.errors import ConfigurationError
 from repro.util.tracing import TraceEvent, events_to_jsonl
 
-__all__ = ["ListSink", "RingBufferSink"]
+__all__ = ["ListSink", "RingBufferSink", "truncation_marker"]
+
+
+def truncation_marker(sink: "ListSink | RingBufferSink") -> TraceEvent:
+    """A synthetic ``obs.truncated`` event recording eviction counts.
+
+    Appended after the retained window when a trace is exported from a
+    ring buffer that overflowed, so offline consumers (``obs analyze``,
+    ``obs why``) can warn instead of silently reading a truncated run
+    as a complete one.  Survives both JSONL and Chrome export formats.
+    """
+    events = sink.events
+    return TraceEvent(
+        time=events[-1].time if events else 0.0,
+        source="obs:recorder",
+        kind="obs.truncated",
+        detail={
+            "seen": sink.seen,
+            "dropped": sink.dropped,
+            "capacity": getattr(sink, "capacity", None),
+        },
+    )
 
 
 class ListSink:

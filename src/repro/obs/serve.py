@@ -15,6 +15,9 @@ is in flight:
 * ``GET /tuner`` — JSON online-adaptation view: per-peer regime,
   active specializations, hit/miss counters, sweep and rail-selection
   state (see :mod:`repro.tuner`).
+* ``GET /why`` — JSON causal-attribution view: per-edge blame-bucket
+  fractions and slowest-message exemplars computed over the events
+  merged so far (see :mod:`repro.obs.causal`).
 
 The server is deliberately tiny: a hand-rolled HTTP/1.0 responder on
 ``asyncio`` streams, no routing table, no keep-alive, no dependencies.
@@ -77,6 +80,9 @@ class ObsHTTPServer:
     tuner:
         Optional zero-arg callable returning a JSON-able dict for
         ``/tuner`` (online-adaptation view); without it the route 404s.
+    why:
+        Optional zero-arg callable returning a JSON-able dict for
+        ``/why`` (causal-attribution view); without it the route 404s.
     host, port:
         Bind address.  ``port=0`` picks a free port; read it back from
         :attr:`port` after :meth:`start`.
@@ -89,6 +95,7 @@ class ObsHTTPServer:
         peers: Callable[[], Mapping[str, Any]] | None = None,
         tails: Callable[[], Mapping[str, Any]] | None = None,
         tuner: Callable[[], Mapping[str, Any]] | None = None,
+        why: Callable[[], Mapping[str, Any]] | None = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -98,6 +105,7 @@ class ObsHTTPServer:
         self._peers = peers
         self._tails = tails
         self._tuner = tuner
+        self._why = why
         self._host = host
         self._port = port
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -241,10 +249,13 @@ class ObsHTTPServer:
             if route == "/tuner" and self._tuner is not None:
                 body = json.dumps(dict(self._tuner()), indent=2, sort_keys=True)
                 return "200 OK", "application/json", (body + "\n").encode("utf-8")
+            if route == "/why" and self._why is not None:
+                body = json.dumps(dict(self._why()), indent=2, sort_keys=True)
+                return "200 OK", "application/json", (body + "\n").encode("utf-8")
         except Exception as exc:  # callback failure must not kill the server
             return "500 Internal Server Error", "text/plain", f"{exc}\n".encode()
         return (
             "404 Not Found",
             "text/plain",
-            b"not found; try /metrics, /status, /peers, /tails or /tuner\n",
+            b"not found; try /metrics, /status, /peers, /tails, /tuner or /why\n",
         )

@@ -1,0 +1,441 @@
+"""Causal attribution: blame buckets, exemplars, and ``obs why``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.causal import (
+    BLAME_BUCKETS,
+    TailExemplars,
+    attribute_chain,
+    attribute_events,
+    main as why_main,
+    render_report,
+    render_waterfall,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Leg, MessageChain, SpanCollector
+from repro.runtime.scenario import run_scenario
+from repro.util.tracing import NullTracer, TraceEvent, Tracer
+
+
+def _chain(
+    submit=0.0,
+    complete=10.0,
+    send=4.0,
+    deliver=9.0,
+    occupancy=1.0,
+    rdv=(),
+    retransmits=(),
+    reorder_enter=None,
+    reorder_release=None,
+):
+    leg = Leg(
+        key="n0#1",
+        node="n0",
+        packet_id=1,
+        dst="n1",
+        nic="n0.mx00",
+        packet_kind="eager",
+        bytes=100,
+        dispatch_t=submit + 0.1,
+        send_t=send,
+        occupancy=occupancy,
+        reorder_enter_t=reorder_enter,
+        reorder_release_t=reorder_release,
+        deliver_t=deliver,
+        retransmits=list(retransmits),
+        slices=[(5, 0, 100)],
+    )
+    return MessageChain(
+        src="n0",
+        message_id=5,
+        flow="f",
+        dst="n1",
+        bytes=100,
+        fragments=1,
+        submit_t=submit,
+        complete_t=complete,
+        delivered_bytes=100,
+        last_deliver_t=deliver,
+        legs=[leg],
+        rdv_windows=list(rdv),
+    )
+
+
+def _assert_balanced(blame):
+    total = sum(blame.buckets.values())
+    assert math.isclose(total, blame.e2e, rel_tol=1e-9, abs_tol=1e-12)
+    assert all(v >= 0.0 for v in blame.buckets.values())
+
+
+class TestAttributeChain:
+    def test_incomplete_chain_returns_none(self):
+        chain = _chain()
+        chain.complete_t = None
+        assert attribute_chain(chain) is None
+
+    def test_buckets_partition_the_e2e_exactly(self):
+        blame = attribute_chain(_chain())
+        _assert_balanced(blame)
+        # queue span [0,4] has no hold/rdv evidence -> nic_queue
+        assert blame.buckets["nic_queue"] == pytest.approx(4.0)
+        # transit [4,9]: 1.0 service, rest wire
+        assert blame.buckets["service"] == pytest.approx(1.0)
+        assert blame.buckets["wire"] == pytest.approx(4.0)
+        # deliver -> complete gap [9,10] has no span evidence: it must
+        # land in the explicit residual, never silently vanish
+        assert blame.buckets["reorder"] == pytest.approx(0.0)
+        assert blame.buckets["unattributed"] == pytest.approx(1.0)
+
+    def test_reorder_residency_charged_to_reorder(self):
+        blame = attribute_chain(
+            _chain(reorder_enter=7.0, reorder_release=9.0,
+                   deliver=9.0, complete=9.0)
+        )
+        _assert_balanced(blame)
+        assert blame.buckets["reorder"] == pytest.approx(2.0)
+        assert blame.buckets["wire"] == pytest.approx(2.0)  # [4,7] minus service
+
+    def test_rdv_window_beats_hold_on_overlap(self):
+        blame = attribute_chain(
+            _chain(rdv=[(1.0, 3.0)]),
+            hold_windows={"n0": [(0.5, 2.0)]},
+        )
+        _assert_balanced(blame)
+        assert blame.buckets["rdv"] == pytest.approx(2.0)
+        assert blame.buckets["hold"] == pytest.approx(0.5)  # [0.5,1.0] only
+        assert blame.buckets["nic_queue"] == pytest.approx(1.5)
+
+    def test_open_windows_clip_at_send(self):
+        blame = attribute_chain(
+            _chain(rdv=[(1.0, None)]),
+            hold_windows={"n0": [(0.2, None)]},
+        )
+        _assert_balanced(blame)
+        assert blame.buckets["rdv"] == pytest.approx(3.0)  # [1,4]
+        assert blame.buckets["hold"] == pytest.approx(0.8)  # [0.2,1.0]
+
+    def test_retransmit_rounds_charge_the_recovery_window(self):
+        blame = attribute_chain(
+            _chain(send=2.0, deliver=9.0, retransmits=[4.0, 7.0],
+                   reorder_enter=8.5)
+        )
+        _assert_balanced(blame)
+        # last rtx at 7.0, send at 2.0 -> 5.0 of recovery
+        assert blame.buckets["retransmit"] == pytest.approx(5.0)
+        assert blame.buckets["service"] == pytest.approx(1.0)
+        assert blame.buckets["wire"] == pytest.approx(0.5)
+        assert blame.buckets["reorder"] == pytest.approx(0.5)
+
+    def test_critical_path_is_slowest_leg_not_sum(self):
+        chain = _chain()
+        fast = Leg(key="n0#2", node="n0", packet_id=2, nic="n0.mx00",
+                   send_t=4.0, occupancy=3.0, deliver_t=5.0,
+                   slices=[(5, 1, 0)])
+        chain.legs.append(fast)
+        blame = attribute_chain(chain)
+        assert blame.critical_leg == "n0#1"
+        # the fast leg's 3.0 occupancy must not inflate service
+        assert blame.buckets["service"] == pytest.approx(1.0)
+        flags = {leg["leg"]: leg["critical"] for leg in blame.legs}
+        assert flags == {"n0#1": True, "n0#2": False}
+        _assert_balanced(blame)
+
+    def test_chain_with_no_legs_is_all_unattributed(self):
+        chain = _chain()
+        chain.legs = []
+        blame = attribute_chain(chain)
+        assert blame.buckets["unattributed"] == pytest.approx(blame.e2e)
+        _assert_balanced(blame)
+
+    @given(
+        submit=st.floats(0, 1e3, allow_nan=False),
+        queue=st.floats(0, 10, allow_nan=False),
+        transit=st.floats(1e-9, 10, allow_nan=False),
+        tail=st.floats(0, 10, allow_nan=False),
+        occupancy=st.floats(0, 20, allow_nan=False),
+        hold_frac=st.floats(0, 1),
+        rdv_frac=st.floats(0, 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_sums_equal_e2e_for_any_timeline(
+        self, submit, queue, transit, tail, occupancy, hold_frac, rdv_frac
+    ):
+        """Hypothesis-enforced: attribution partitions e2e exactly."""
+        send = submit + queue
+        deliver = send + transit
+        complete = deliver + tail
+        blame = attribute_chain(
+            _chain(
+                submit=submit,
+                send=send,
+                deliver=deliver,
+                complete=complete,
+                occupancy=occupancy,
+                rdv=[(submit, submit + rdv_frac * queue)],
+            ),
+            hold_windows={"n0": [(submit, submit + hold_frac * queue)]},
+        )
+        _assert_balanced(blame)
+
+
+class TestEndToEndSim:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        scenario = {
+            "name": "causal-e2e",
+            "cluster": {"n_nodes": 3, "strategy": "aggregate", "seed": 3},
+            "observability": {"trace": True},
+            "workloads": [
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 256,
+                 "count": 40, "interval": 0.0},
+                {"app": "stream", "src": "n1", "dst": "n2", "size": 65536,
+                 "count": 4},
+                {"app": "pingpong", "src": "n2", "dst": "n0", "size": 64,
+                 "count": 10},
+            ],
+        }
+        report, cluster, _ = run_scenario(scenario)
+        return report, cluster
+
+    def test_every_message_attributed_with_exact_sums(self, traced_run):
+        report, cluster = traced_run
+        causal = attribute_events(cluster.obs.events)
+        assert len(causal.messages) == report.messages > 0
+        assert causal.incomplete == 0
+        for blame in causal.messages:
+            _assert_balanced(blame)
+
+    def test_unattributed_fraction_below_ten_percent(self, traced_run):
+        _, cluster = traced_run
+        causal = attribute_events(cluster.obs.events)
+        for edge, slot in causal.edges().items():
+            assert slot["fractions"]["unattributed"] < 0.10, edge
+
+    def test_exemplars_match_offline_attribution(self, traced_run):
+        _, cluster = traced_run
+        plane = cluster.obs
+        assert plane.tail_exemplars is not None  # default K with trace on
+        snap = plane.tail_exemplars.snapshot()
+        causal = attribute_events(plane.events)
+        assert snap["messages"] == len(causal.messages)
+        offline = causal.edges()
+        for edge, slot in snap["edges"].items():
+            assert slot["buckets_s"] == pytest.approx(offline[edge]["buckets_s"])
+
+    def test_blame_metrics_exported(self, traced_run):
+        _, cluster = traced_run
+        text = cluster.obs.registry.to_prometheus()
+        assert "repro_blame_seconds_total" in text
+        assert "repro_blame_fraction" in text
+
+
+class TestTailExemplars:
+    def _blame_events(self, mid, e2e, src="n0", dst="n1"):
+        pid = 1000 + mid
+        return [
+            TraceEvent(0.0, f"engine:{src}", "collect.enqueue",
+                       {"message": mid, "flow": "f", "dst": dst,
+                        "bytes": 8, "fragments": 1}),
+            TraceEvent(0.1, f"engine:{src}", "engine.dispatch",
+                       {"packet": pid, "dst": dst, "packet_kind": "eager",
+                        "bytes": 8, "messages": [[mid, 0, 8]]}),
+            TraceEvent(e2e, f"rx:{dst}", "rx.deliver",
+                       {"packet": pid, "src": src, "corr": None}),
+            TraceEvent(e2e, f"reasm:{dst}", "message.complete",
+                       {"message": mid, "flow": "f", "src": src}),
+        ]
+
+    def test_keeps_slowest_k_per_edge(self):
+        reservoir = TailExemplars(2)
+        for mid, e2e in enumerate([5.0, 9.0, 1.0, 7.0]):
+            for event in self._blame_events(mid, e2e):
+                reservoir(event)
+        snap = reservoir.snapshot()
+        slot = snap["edges"]["n0->n1"]
+        assert slot["messages"] == 4  # sums cover everything
+        kept = [ex["e2e_s"] for ex in slot["exemplars"]]
+        assert kept == [9.0, 7.0]  # only the worst K chains survive
+
+    def test_survives_ring_buffer_eviction(self):
+        """Exemplar evidence outlives the flight recorder window."""
+        from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
+        from repro.runtime.cluster import Cluster
+
+        plane = ObservabilityPlane(
+            ObservabilityConfig(ring_buffer=8, exemplars=3)
+        )
+        cluster = Cluster(seed=0, strategy="eager")
+        plane.install(cluster)
+        api = cluster.api("n0")
+        flow = api.open_flow("n1")
+        api.send(flow, 4096)
+        cluster.run_until_idle()
+        plane.finalize()
+        assert plane.sink.dropped > 0  # the ring really did evict
+        ring_report = attribute_events(plane.events)
+        snap = plane.tail_exemplars.snapshot()
+        assert snap["messages"] >= 1
+        assert snap["messages"] >= len(ring_report.messages)
+
+    def test_export_writes_registry_series(self):
+        reservoir = TailExemplars(1)
+        for event in self._blame_events(1, 2.0):
+            reservoir(event)
+        registry = MetricsRegistry()
+        reservoir.export(registry)
+        text = registry.to_prometheus()
+        assert 'repro_blame_seconds_total{bucket="nic_queue",edge="n0->n1"}' in text
+        assert "repro_blame_fraction" in text
+        # fractions of one edge sum to 1
+        snap = reservoir.snapshot()["edges"]["n0->n1"]["fractions"]
+        assert sum(snap.values()) == pytest.approx(1.0)
+
+    def test_zero_k_plane_disables_reservoir(self):
+        from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
+
+        plane = ObservabilityPlane(ObservabilityConfig(exemplars=0))
+        assert plane.tail_exemplars is None
+
+
+class TestZeroEmission:
+    def test_untraced_run_emits_nothing(self, monkeypatch):
+        """Every span-boundary emit site sits behind ``tracer.enabled``."""
+        calls = []
+
+        def spy(self, time, source, kind, **detail):
+            calls.append(kind)
+
+        monkeypatch.setattr(Tracer, "emit", spy)
+        monkeypatch.setattr(NullTracer, "emit", spy)
+        scenario = {
+            "name": "zero-emission",
+            "cluster": {"n_nodes": 2, "strategy": "aggregate", "seed": 1},
+            "faults": {"drop": 0.1, "seed": 2},
+            "workloads": [
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 256,
+                 "count": 30, "interval": 0.0},
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 65536,
+                 "count": 2},
+            ],
+        }
+        run_scenario(scenario)
+        assert calls == []
+
+    def test_traced_run_emits_span_boundaries(self):
+        scenario = {
+            "name": "span-boundaries",
+            "cluster": {
+                "n_nodes": 2,
+                "strategy": "nagle",
+                "config": {"nagle_delay": 4e-6, "nagle_min_bytes": 1024},
+                "seed": 1,
+            },
+            "faults": {"drop": 0.1, "seed": 2},
+            "observability": {"trace": True},
+            "workloads": [
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 256,
+                 "count": 30, "interval": 0.0},
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 65536,
+                 "count": 2},
+            ],
+        }
+        _, cluster, _ = run_scenario(scenario)
+        kinds = {e.kind for e in cluster.obs.events}
+        assert {"hold.arm", "hold.fire", "rel.retransmit"} <= kinds
+
+
+class TestRendering:
+    def test_waterfall_mentions_every_nonzero_bucket(self):
+        blame = attribute_chain(_chain(rdv=[(0.0, 2.0)]))
+        text = render_waterfall(blame)
+        assert "rdv" in text and "nic_queue" in text and "unattributed" in text
+        assert "n0#m5" in text
+        assert "*leg n0#1" in text
+
+    def test_report_edge_filter_accepts_colon_form(self):
+        report = attribute_events([])
+        report.messages.append(attribute_chain(_chain()))
+        text = render_report(report, edge="n0:n1")
+        assert "n0->n1" in text
+        assert "no attributed message" not in text
+
+
+class TestWhyCli:
+    def _args(self, trace, **over):
+        base = dict(trace=str(trace), message=None, slowest=5,
+                    edge=None, json=False)
+        base.update(over)
+        return argparse.Namespace(**base)
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        scenario = {
+            "name": "why-cli",
+            "cluster": {"n_nodes": 2, "strategy": "aggregate", "seed": 5},
+            "observability": {"trace": True},
+            "workloads": [
+                {"app": "stream", "src": "n0", "dst": "n1", "size": 512,
+                 "count": 10, "interval": 0.0}
+            ],
+        }
+        _, cluster, _ = run_scenario(scenario)
+        path = tmp_path / "trace.jsonl"
+        cluster.obs.write_trace(path)
+        return path
+
+    def test_human_report(self, trace_file, capsys):
+        assert why_main(self._args(trace_file)) == 0
+        out = capsys.readouterr().out
+        assert "causal attribution" in out
+        assert "per-edge blame fractions" in out
+
+    def test_json_bucket_sums(self, trace_file, capsys):
+        assert why_main(self._args(trace_file, json=True)) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["messages"]
+        for msg in payload["messages"]:
+            total = sum(msg["buckets_s"].values())
+            assert math.isclose(total, msg["e2e_s"], rel_tol=1e-9,
+                                abs_tol=1e-12)
+            assert msg["buckets_s"]["unattributed"] <= 0.10 * msg["e2e_s"]
+
+    def test_single_message_lookup(self, trace_file, capsys):
+        assert why_main(self._args(trace_file, json=True)) == 0
+        payload = json.loads(capsys.readouterr().out)
+        key = payload["messages"][0]["message"]
+        assert why_main(self._args(trace_file, message=key)) == 0
+        out = capsys.readouterr().out
+        assert f"message {key}" in out
+
+    def test_empty_trace_exits_nonzero(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert why_main(self._args(empty)) == 1
+
+    def test_truncated_trace_warns_loudly(self, tmp_path, capsys):
+        from repro.obs.plane import ObservabilityConfig, ObservabilityPlane
+        from repro.runtime.cluster import Cluster
+
+        plane = ObservabilityPlane(ObservabilityConfig(ring_buffer=64))
+        cluster = Cluster(seed=0, strategy="eager")
+        plane.install(cluster)
+        api = cluster.api("n0")
+        flow = api.open_flow("n1")
+        for _ in range(30):
+            api.send(flow, 512)
+        cluster.run_until_idle()
+        assert plane.sink.dropped > 0
+        path = tmp_path / "trunc.jsonl"
+        plane.write_trace(path)
+        why_main(self._args(path))
+        captured = capsys.readouterr()
+        assert "TRUNCATED" in captured.out or "TRUNCATED" in captured.err
+        assert "evicted" in captured.err

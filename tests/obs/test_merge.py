@@ -321,3 +321,58 @@ class TestOffsetEstimation:
         crossings = extract_crossings(events)
         refined = estimate_offsets(samples, crossings, peers=["n0", "n1"])["n1"]
         assert abs(refined - skew) < abs(biased - skew)
+
+
+class TestDegenerateMerges:
+    """Single peers, missing offsets, and skew signs that could go wrong."""
+
+    def test_single_peer_merge_passes_events_through(self):
+        events = {
+            "n0": [
+                TraceEvent(float(i), "peer:n0", "tick", {"seq": i})
+                for i in range(5)
+            ]
+        }
+        merged = align_events(events, estimate_offsets([], peers=["n0"]))
+        assert [e.time for e in merged.events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert merged.events_by_peer == {"n0": 5}
+        assert merged.crossings_clamped == 0
+
+    def test_peer_without_offset_estimate_defaults_to_zero(self):
+        # n1 sent no probes and produced no crossings: its events must
+        # still merge, at face value, rather than being dropped.
+        offsets = estimate_offsets(
+            [OffsetSample("n2", 0.0, 0.002, 0.001)], peers=["n0", "n1", "n2"]
+        )
+        assert offsets["n1"] == 0.0
+        events = {
+            "n1": [TraceEvent(3.5, "peer:n1", "tick", {})],
+            "n2": [TraceEvent(4.0, "peer:n2", "tick", {})],
+        }
+        merged = align_events(events, offsets)
+        times = {e.source: e.time for e in merged.events}
+        assert times["peer:n1"] == 3.5
+        assert times["peer:n2"] == pytest.approx(4.0 - offsets["n2"])
+
+    @given(offset=st.floats(min_value=-5.0, max_value=-1e-9, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_negative_offset_never_yields_negative_durations(self, offset):
+        # A peer whose clock runs *behind* the coordinator gets a
+        # negative offset; the correction shifts its events forward.
+        # No aligned wire crossing may end before it started.
+        events = {
+            "n1": [
+                TraceEvent(10.0, "peer:n1", "live.recv",
+                           {"corr": "n0#1", "src": "n0", "sent_at": 9.9}),
+                TraceEvent(10.5, "peer:n1", "live.recv",
+                           {"corr": "n0#2", "src": "n0", "sent_at": 10.4}),
+            ]
+        }
+        merged = align_events(events, {"n0": 0.0, "n1": offset})
+        assert len(merged.events) == 2
+        for event in merged.events:
+            duration = event.time - event.detail["send_time"]
+            assert duration >= 0.0
+        # per-peer spacing is offset-invariant
+        a, b = merged.events
+        assert b.time - a.time == pytest.approx(0.5)

@@ -80,6 +80,29 @@ class TestObsHTTPServer:
         finally:
             srv.stop()
 
+    def test_why_404_without_callback(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{server.address}/why")
+        assert err.value.code == 404
+
+    def test_why_endpoint(self):
+        payload = {
+            "messages": 3,
+            "incomplete": 0,
+            "edges": {"n0->n1": {"wire": 0.9, "unattributed": 0.1}},
+            "slowest": [],
+        }
+        srv = ObsHTTPServer(
+            lambda: "", lambda: {}, None, None, None, lambda: payload, port=0
+        ).start()
+        try:
+            status, headers, body = _get(f"{srv.address}/why")
+            assert status == 200
+            assert headers["Content-Type"].startswith("application/json")
+            assert json.loads(body) == payload
+        finally:
+            srv.stop()
+
     def test_callback_exception_is_500(self):
         def boom() -> str:
             raise RuntimeError("registry on fire")
